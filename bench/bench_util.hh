@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared table-printing helpers for the figure/table benches.
+ */
+
+#ifndef DAMN_BENCH_UTIL_HH
+#define DAMN_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "dma/schemes.hh"
+
+namespace damn::bench {
+
+/** The five configurations every figure compares. */
+inline const std::vector<dma::SchemeKind> &
+allSchemes()
+{
+    static const std::vector<dma::SchemeKind> k = {
+        dma::SchemeKind::IommuOff,  dma::SchemeKind::Deferred,
+        dma::SchemeKind::Strict,    dma::SchemeKind::Shadow,
+        dma::SchemeKind::Damn,
+    };
+    return k;
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+inline void
+printRule()
+{
+    std::printf("---------------------------------------------"
+                "-------------------------\n");
+}
+
+} // namespace damn::bench
+
+#endif // DAMN_BENCH_UTIL_HH

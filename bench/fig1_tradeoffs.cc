@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 1: protection-performance tradeoffs — aggregated TCP
+ * throughput and CPU consumption of multi-core *bidirectional*
+ * netperf TCP_STREAM (peak theoretical 200 Gb/s; the PCIe bus caps
+ * each direction at ~106 Gb/s).
+ *
+ * Paper reference points: iommu-off 196 Gb/s, deferred 176, damn 171
+ * (3% below deferred), shadow 160 at ~2x CPU, strict 113.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/netperf.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 1: bidirectional netperf TCP-STREAM (RX+TX)");
+    std::printf("%-10s %12s %14s\n", "scheme", "Gb/s",
+                "CPU% (28 cores)");
+    bench::printRule();
+    for (dma::SchemeKind k : bench::allSchemes()) {
+        auto run = work::runNetperf(work::bidirectionalOpts(k));
+        std::printf("%-10s %12.1f %14.1f\n", dma::schemeKindName(k),
+                    run.res.totalGbps, run.res.cpuPct);
+    }
+    return 0;
+}

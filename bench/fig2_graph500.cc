@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 2: interaction between networking and an unrelated
+ * memory-hungry program — bidirectional netperf on 4 cores next to
+ * 3 x 8-core Graph500 BFS loops.
+ *
+ * Paper reference points: shadow buffers cannibalize memory bandwidth,
+ * inflating Graph500 iteration time by ~1.44x and halving netperf
+ * throughput; damn lets each workload run as if the other were absent.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/graph500.hh"
+#include "workloads/netperf.hh"
+
+using namespace damn;
+
+namespace {
+
+struct CorunResult
+{
+    double gbps;
+    double iterSeconds;
+};
+
+CorunResult
+runCorun(dma::SchemeKind scheme, bool with_net, bool with_graph)
+{
+    work::NetperfOpts o;
+    o.scheme = scheme;
+    o.mode = work::NetMode::Bidi;
+    o.instances = 8; // 4 RX + 4 TX over 4 cores, 2 per CPU
+    o.coreLimit = 4;
+    // Few flows => LRO aggregates fully, as in the single-core test.
+    o.segBytes = 64 * 1024;
+    o.costFactor = 1.2;
+    o.measureNs = 300 * sim::kNsPerMs;
+
+    work::NetperfRun run = work::makeNetperfSystem(o);
+    std::unique_ptr<work::BfsCorunner> bfs;
+    if (with_graph) {
+        work::BfsCorunner::Config bc;
+        bc.firstCore = 4;
+        bfs = std::make_unique<work::BfsCorunner>(run.sys->ctx, bc);
+        bfs->start();
+    }
+
+    net::StreamConfig sc;
+    sc.warmupNs = o.warmupNs;
+    sc.measureNs = o.measureNs;
+    sc.costFactor = o.costFactor;
+    net::StreamEngine eng(*run.sys, *run.nic, *run.stack, sc);
+    if (with_net)
+        work::addNetperfFlows(run, eng, o);
+
+    CorunResult r{};
+    if (with_net) {
+        if (bfs) {
+            run.sys->ctx.engine.scheduleIn(
+                o.warmupNs, [&] { bfs->resetWindow(o.warmupNs); });
+        }
+        r.gbps = eng.run().totalGbps;
+        if (bfs)
+            r.iterSeconds =
+                bfs->meanIterationSeconds(run.sys->ctx.now());
+    } else {
+        // Graph500 alone.
+        run.sys->ctx.engine.run(o.warmupNs);
+        bfs->resetWindow(run.sys->ctx.now());
+        run.sys->ctx.engine.run(o.warmupNs + o.measureNs);
+        r.iterSeconds = bfs->meanIterationSeconds(run.sys->ctx.now());
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Figure 2: netperf (4 cores, bidi) + Graph500 "
+                       "(3 x 8 cores)");
+    std::printf("%-12s %14s %22s\n", "config", "netperf Gb/s",
+                "BFS iter time (s)");
+    bench::printRule();
+
+    for (dma::SchemeKind k : bench::allSchemes()) {
+        const CorunResult r = runCorun(k, true, true);
+        std::printf("%-12s %14.1f %22.3f\n", dma::schemeKindName(k),
+                    r.gbps, r.iterSeconds);
+    }
+    const CorunResult nograph =
+        runCorun(dma::SchemeKind::IommuOff, true, false);
+    std::printf("%-12s %14.1f %22s\n", "no graph", nograph.gbps, "-");
+    const CorunResult nonet =
+        runCorun(dma::SchemeKind::IommuOff, false, true);
+    std::printf("%-12s %14s %22.3f\n", "no net", "-", nonet.iterSeconds);
+    return 0;
+}

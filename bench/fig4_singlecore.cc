@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 4: single-core TCP throughput and CPU utilization of netperf
+ * TCP_STREAM (4 instances pinned to one core, both NIC ports, 64 KiB
+ * TSO/LRO aggregates, jumbo frames).
+ *
+ * Paper reference points (Gb/s @ 100% of one core):
+ *   RX: iommu-off 67, deferred 65, damn 66, strict 50, shadow 26
+ *   TX: iommu-off 73, deferred ~63, damn 74, strict ~48, shadow 44
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/netperf.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    bench::printHeader("Figure 4a: single-core netperf TCP-STREAM RX");
+    std::printf("%-10s %12s %14s\n", "scheme", "Gb/s", "CPU% (1 core)");
+    bench::printRule();
+    for (dma::SchemeKind k : bench::allSchemes()) {
+        auto run = work::runNetperf(
+            work::singleCoreOpts(k, work::NetMode::Rx));
+        std::printf("%-10s %12.1f %14.1f\n", dma::schemeKindName(k),
+                    run.res.totalGbps,
+                    run.sys->ctx.machine.coreUtilizationPct(
+                        0, 200 * sim::kNsPerMs));
+    }
+
+    bench::printHeader("Figure 4b: single-core netperf TCP-STREAM TX");
+    std::printf("%-10s %12s %14s\n", "scheme", "Gb/s", "CPU% (1 core)");
+    bench::printRule();
+    for (dma::SchemeKind k : bench::allSchemes()) {
+        auto run = work::runNetperf(
+            work::singleCoreOpts(k, work::NetMode::Tx));
+        std::printf("%-10s %12.1f %14.1f\n", dma::schemeKindName(k),
+                    run.res.totalGbps,
+                    run.sys->ctx.machine.coreUtilizationPct(
+                        0, 200 * sim::kNsPerMs));
+    }
+    return 0;
+}

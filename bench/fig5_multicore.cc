@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 5: multi-core TCP throughput and CPU utilization (28 netperf
+ * instances, one per core; 100% CPU = all 28 cores busy).
+ *
+ * Paper reference points:
+ *   RX: all schemes but strict reach >= 100 Gb/s (NIC-bound);
+ *       strict throttles at ~80 Gb/s with ~64% CPU;
+ *       shadow uses ~37% CPU, ~1.5x of damn/deferred/iommu-off.
+ *   TX: similar trends.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/netperf.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    for (auto [mode, title] :
+         {std::pair{work::NetMode::Rx,
+                    "Figure 5a: multi-core netperf TCP-STREAM RX"},
+          std::pair{work::NetMode::Tx,
+                    "Figure 5b: multi-core netperf TCP-STREAM TX"}}) {
+        bench::printHeader(title);
+        std::printf("%-10s %12s %14s\n", "scheme", "Gb/s",
+                    "CPU% (28 cores)");
+        bench::printRule();
+        for (dma::SchemeKind k : bench::allSchemes()) {
+            auto run = work::runNetperf(work::multiCoreOpts(k, mode));
+            std::printf("%-10s %12.1f %14.1f\n", dma::schemeKindName(k),
+                        run.res.totalGbps, run.res.cpuPct);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 6: throughput and memory bandwidth in the multi-core
+ * bidirectional netperf TCP_STREAM test (same run as figure 1; this
+ * binary reports the memory-bandwidth series).
+ *
+ * Paper reference points: shadow buffers drive memory bandwidth to
+ * ~80 GB/s — the advertised limit of the memory controllers — which is
+ * what throttles their NIC below line rate; the other schemes sit
+ * around 50-60 GB/s.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/netperf.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 6: bidirectional netperf TCP-STREAM, memory bandwidth");
+    std::printf("%-10s %12s %16s %14s\n", "scheme", "Gb/s",
+                "mem BW (GB/s)", "CPU%");
+    bench::printRule();
+    for (dma::SchemeKind k : bench::allSchemes()) {
+        auto run = work::runNetperf(work::bidirectionalOpts(k));
+        std::printf("%-10s %12.1f %16.1f %14.1f\n",
+                    dma::schemeKindName(k), run.res.totalGbps,
+                    run.res.memGBps, run.res.cpuPct);
+    }
+    return 0;
+}

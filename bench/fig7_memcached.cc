@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7: memcached aggregated throughput and CPU utilization
+ * (28 instances, memslap 50/50 GET/SET with 512 KiB keys+values).
+ *
+ * Paper reference points: damn, shadow and deferred reach comparable
+ * TPS to iommu-off; shadow burns ~1.6x the CPU of damn/iommu-off;
+ * strict obtains about half the TPS (8816) at 70% CPU.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/memcached.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    bench::printHeader("Figure 7: memcached (memslap 50/50 GET/SET, "
+                       "512 KiB values)");
+    std::printf("%-10s %12s %14s %12s\n", "scheme", "TPS",
+                "CPU% (28 cores)", "Gb/s");
+    bench::printRule();
+    for (dma::SchemeKind k : bench::allSchemes()) {
+        work::MemcachedOpts o;
+        o.scheme = k;
+        const work::MemcachedResult r = work::runMemcached(o);
+        std::printf("%-10s %12.0f %14.1f %12.1f\n",
+                    dma::schemeKindName(k), r.tps, r.cpuPct, r.gbps);
+    }
+    return 0;
+}

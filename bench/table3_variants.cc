@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 3: factors behind the damn vs iommu-off gap in the multi-core
+ * bidirectional test.
+ *
+ * Paper reference points (Gb/s, % of iommu-off):
+ *   damn                                     170 (86.3%)
+ *   damn + huge iova pages + dense range     183 (92.9%)
+ *   damn without iommu                       192 (97.5%)
+ *   iommu-off                                197 (100%)
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/netperf.hh"
+
+using namespace damn;
+
+namespace {
+
+double
+runVariant(core::DmaCacheConfig cache, dma::SchemeKind scheme)
+{
+    work::NetperfOpts o = work::bidirectionalOpts(scheme);
+    o.sysParams.damnCache = cache;
+    return work::runNetperf(o).res.totalGbps;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table 3: damn throughput gap analysis "
+                       "(bidirectional netperf)");
+    std::printf("%-45s %8s %8s\n", "configuration", "Gb/s", "% of off");
+    bench::printRule();
+
+    core::DmaCacheConfig stock;
+    const double damn_gbps = runVariant(stock, dma::SchemeKind::Damn);
+
+    core::DmaCacheConfig huge;
+    huge.hugeIovaPages = true;
+    huge.denseIova = true;
+    const double huge_gbps = runVariant(huge, dma::SchemeKind::Damn);
+
+    core::DmaCacheConfig noiommu;
+    noiommu.mapInIommu = false;
+    const double noiommu_gbps =
+        runVariant(noiommu, dma::SchemeKind::Damn);
+
+    const double off_gbps =
+        runVariant(stock, dma::SchemeKind::IommuOff);
+
+    const auto row = [&](const char *name, double gbps) {
+        std::printf("%-45s %8.1f %7.1f%%\n", name, gbps,
+                    100.0 * gbps / off_gbps);
+    };
+    row("damn", damn_gbps);
+    row("damn + huge iova pages + dense iova range", huge_gbps);
+    row("damn without iommu", noiommu_gbps);
+    row("iommu-off", off_gbps);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DMA attack demonstration: replay the three classic attacks from the
+ * paper's motivation against every protection scheme and print what a
+ * malicious NIC actually managed to do.
+ *
+ *   1. co-location theft  — read an unrelated kmalloc'ed secret that
+ *      shares a page with a mapped packet buffer;
+ *   2. stale-window theft — replay an old DMA address after dma_unmap,
+ *      once the kernel reused the memory for a secret;
+ *   3. TOCTTOU            — rewrite packet bytes after the OS checked
+ *      them but before it used them.
+ *
+ * Run:  build/examples/attack_demo
+ */
+
+#include <cstdio>
+
+#include "workloads/attacks.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    std::printf("Replaying DMA attacks against each protection scheme\n");
+    std::printf("(every cell is a live attack against real buffers)\n\n");
+    std::printf("%-10s %22s %22s %14s\n", "scheme", "co-location theft",
+                "stale-window theft", "TOCTTOU");
+    std::printf("%s\n", std::string(72, '-').c_str());
+
+    for (const auto scheme :
+         {dma::SchemeKind::IommuOff, dma::SchemeKind::Deferred,
+          dma::SchemeKind::Strict, dma::SchemeKind::Shadow,
+          dma::SchemeKind::Damn}) {
+        const work::AttackReport r = work::runAttacks(scheme);
+        const auto verdict = [](bool succeeded) {
+            return succeeded ? "STOLEN/FORGED" : "blocked";
+        };
+        std::printf("%-10s %22s %22s %14s\n",
+                    dma::schemeKindName(scheme),
+                    verdict(r.colocationTheft),
+                    verdict(r.staleWindowTheft), verdict(r.tocttou));
+    }
+
+    std::printf(
+        "\nReading the table:\n"
+        " - iommu-off: no protection; everything succeeds.\n"
+        " - deferred (the Linux default): page-granularity mappings\n"
+        "   leak co-located data, and the batched IOTLB flush leaves\n"
+        "   a window for stale-address replays and TOCTTOU.\n"
+        " - strict: closes the windows at great cost (figure 4/5),\n"
+        "   but page granularity still leaks co-located data.\n"
+        " - shadow buffers: full protection, paid for with a copy of\n"
+        "   every DMAed byte.\n"
+        " - damn: full protection -- secrets can never share pages\n"
+        "   with DMA buffers, stale replays only ever see packet\n"
+        "   memory, and OS-checked bytes are copied out of the\n"
+        "   device's reach on first access.\n");
+    return 0;
+}

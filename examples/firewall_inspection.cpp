@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deep packet inspection under DAMN: a netfilter firewall that reads
+ * packet payloads, demonstrating the copy-on-access TOCTTOU defense
+ * and its cost scaling (the figure-8 story as a runnable scenario).
+ *
+ * The firewall inspects HTTP-like headers inside the payload; DAMN
+ * copies exactly the bytes it touches out of the device's reach, so a
+ * rule decision can never be invalidated by a later device write.
+ *
+ * Run:  build/examples/firewall_inspection
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "net/stream.hh"
+
+using namespace damn;
+
+namespace {
+
+/** Tiny HTTP-ish firewall: blocks requests whose path contains a "/admin"
+ *  prefix, by inspecting the first line of the payload. */
+struct Firewall
+{
+    unsigned allowed = 0;
+    unsigned blocked = 0;
+
+    bool
+    inspect(sim::CpuCursor &cpu, net::SkBuff &skb,
+            net::SkbAccessor &acc)
+    {
+        char line[128] = {};
+        const std::uint32_t n =
+            std::min<std::uint32_t>(sizeof(line) - 1,
+                                    skb.len() - skb.headerLen);
+        // Reading through the accessor secures these bytes first.
+        acc.access(cpu, skb, skb.headerLen, n, line);
+        const bool evil = std::strstr(line, "/admin") != nullptr;
+        evil ? ++blocked : ++allowed;
+        return !evil;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    net::SystemParams params;
+    params.scheme = dma::SchemeKind::Damn;
+    net::System sys(params);
+    net::NicDevice nic(sys, "mlx5_0");
+    net::TcpStack stack(sys, nic);
+    sim::CpuCursor cpu(sys.ctx.machine.core(0), 0);
+
+    Firewall fw;
+    bool last_verdict = false;
+    stack.addHook([&](sim::CpuCursor &c, net::SkBuff &skb,
+                      net::SkbAccessor &acc) {
+        last_verdict = fw.inspect(c, skb, acc);
+    });
+
+    const char *requests[] = {
+        "GET /index.html HTTP/1.1",
+        "GET /admin/passwords HTTP/1.1",
+        "POST /api/v1/items HTTP/1.1",
+        "GET /admin HTTP/1.1",
+    };
+
+    std::printf("Firewall inspecting payloads through the skbuff "
+                "accessor API (scheme: damn)\n\n");
+    for (const char *req : requests) {
+        net::RxBuffer buf = stack.driver.allocRxBuffer(cpu, 2048);
+        // Wire format: 66 bytes of TCP/IP headers, then the payload.
+        std::vector<std::uint8_t> wire(2048, 0);
+        std::memcpy(wire.data() + 66, req, std::strlen(req));
+        nic.dmaWrite(sys.ctx.now(), buf.seg.dmaAddr, wire.data(),
+                     wire.size());
+        const iommu::Iova dma = buf.seg.dmaAddr;
+
+        net::SkBuff skb = stack.driver.rxBuild(cpu, buf, 2048);
+        stack.rxSegment(cpu, skb, 1.0);
+
+        // A malicious NIC now tries the classic TOCTTOU: rewrite the
+        // path to something innocent-looking *after* the check.
+        std::vector<std::uint8_t> forged(2048, 0);
+        std::memcpy(forged.data() + 66, "GET /index.html  HTTP/1.1",
+                    25);
+        nic.dmaWrite(sys.ctx.now(), dma, forged.data(), forged.size());
+
+        // What does the application layer actually see?
+        char seen[64] = {};
+        sys.accessor().access(cpu, skb, 66, sizeof(seen) - 1,
+                              seen);
+        std::printf("  %-32s verdict=%-7s app sees: \"%.30s\"\n", req,
+                    last_verdict ? "ALLOW" : "BLOCK", seen);
+        sys.accessor().freeSkb(cpu, skb);
+    }
+
+    std::printf("\n%u allowed, %u blocked; guard copied %llu bytes "
+                "total (headers + inspected payload only).\n",
+                fw.allowed, fw.blocked,
+                (unsigned long long)sys.accessor().securedBytes());
+    std::printf("Note the forged rewrite never reaches the OS view: "
+                "inspected bytes were copied out of the device's "
+                "reach at first access.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: the DAMN allocator in five minutes.
+ *
+ * Builds a simulated machine with DAMN as the protection scheme,
+ * allocates packet buffers through the paper's Table-2 API, shows the
+ * metadata-carrying IOVA encoding, performs a device DMA against the
+ * permanent mapping, and exercises the shrinker.
+ *
+ * Run:  build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "net/nic.hh"
+
+using namespace damn;
+
+int
+main()
+{
+    // 1. A simulated machine: 28 cores, IOMMU on, DAMN wired in as the
+    //    DMA-API interposition layer with a deferred fallback.
+    net::SystemParams params;
+    params.scheme = dma::SchemeKind::Damn;
+    net::System sys(params);
+    net::NicDevice nic(sys, "mlx5_0");
+
+    std::printf("machine: %u cores, %u NUMA nodes, IOMMU %s\n",
+                sys.ctx.machine.numCores(), sys.ctx.machine.numSockets(),
+                sys.mmu.enabled() ? "on" : "off");
+
+    // 2. Allocate a receive buffer: device-writable, permanently
+    //    IOMMU-mapped, zeroed (paper Table 2).
+    sim::CpuCursor cpu(sys.ctx.machine.core(0), 0);
+    const mem::Pa rx_buf =
+        sys.damn->damnAlloc(cpu, &nic, core::Rights::Write, 4096);
+    const iommu::Iova rx_iova = sys.damn->iovaOf(rx_buf);
+
+    std::printf("\ndamn_alloc(dev=mlx5_0, WRITE, 4096):\n");
+    std::printf("  kernel address : 0x%llx\n",
+                (unsigned long long)rx_buf);
+    std::printf("  permanent IOVA : 0x%llx\n",
+                (unsigned long long)rx_iova);
+
+    // 3. The IOVA encodes its allocator (figure 3).
+    const core::IovaFields f = core::decodeIova(rx_iova);
+    std::printf("  decoded        : cpu=%u rights=%s dev=%u numa=%u "
+                "offset=0x%llx\n",
+                f.cpu, core::rightsName(f.rights), f.devIdx, f.numa,
+                (unsigned long long)f.offset);
+
+    // 4. The device can DMA into it right now — no dma_map needed.
+    const char payload[] = "packet payload via permanent mapping";
+    const dma::DmaOutcome dma =
+        nic.dmaWrite(0, rx_iova, payload, sizeof(payload));
+    char readback[sizeof(payload)] = {};
+    sys.phys.read(rx_buf, readback, sizeof(readback));
+    std::printf("\ndevice DMA write: %s -> buffer holds \"%s\"\n",
+                dma.ok ? "ok" : "FAULT", readback);
+
+    // 5. ...but only with the granted rights: reads fault (Rights::Write).
+    char probe[8];
+    const dma::DmaOutcome steal = nic.dmaRead(0, rx_iova, probe, 8);
+    std::printf("device DMA read of a WRITE-only buffer: %s\n",
+                steal.fault ? "blocked by the IOMMU" : "PROBLEM!");
+
+    // 6. The unmodified driver still calls dma_map/dma_unmap; DAMN's
+    //    interposition recognizes its buffers and returns immediately.
+    const iommu::Iova mapped =
+        sys.dmaApi->map(cpu, nic, rx_buf, 4096, dma::Dir::FromDevice);
+    std::printf("\ndma_map through the interposed DMA API: 0x%llx "
+                "(same permanent IOVA: %s)\n",
+                (unsigned long long)mapped,
+                mapped == rx_iova ? "yes" : "no");
+    sys.dmaApi->unmap(cpu, nic, mapped, 4096, dma::Dir::FromDevice);
+
+    // 7. Free; the chunk recycles inside DAMN's DMA cache.
+    sys.damn->damnFree(cpu, rx_buf);
+    std::printf("\nafter damn_free: DMA cache owns %llu KiB "
+                "(recycled, still mapped)\n",
+                (unsigned long long)(sys.damn->ownedBytes() / 1024));
+
+    // 8. Memory pressure: the shrinker returns cached chunks to the OS
+    //    and flushes the IOTLB.
+    const std::uint64_t released = sys.damn->shrink(cpu);
+    std::printf("shrinker released %llu KiB; DMA cache now owns %llu "
+                "KiB\n",
+                (unsigned long long)(released / 1024),
+                (unsigned long long)(sys.damn->ownedBytes() / 1024));
+    return 0;
+}

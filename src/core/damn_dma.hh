@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DAMN's DMA-API interposition (paper section 5.3).
+ *
+ * Drivers are unmodified: they still call dma_map/dma_unmap on every
+ * buffer.  This layer checks whether the buffer was allocated by DAMN:
+ *
+ *  - dma_map of a DAMN buffer returns its permanent IOVA (a page-flag
+ *    check plus a tail-page read); anything else falls back to the
+ *    configured legacy scheme.
+ *  - dma_unmap inspects the MSB of the DMA address (figure 3): a DAMN
+ *    IOVA needs no teardown — the call returns immediately.
+ */
+
+#ifndef DAMN_CORE_DAMN_DMA_HH
+#define DAMN_CORE_DAMN_DMA_HH
+
+#include <memory>
+
+#include "core/damn_allocator.hh"
+#include "dma/dma_api.hh"
+
+namespace damn::core {
+
+/** DMA API with DAMN interposition over a legacy fallback scheme. */
+class DamnDmaApi : public dma::DmaApi
+{
+  public:
+    DamnDmaApi(sim::Context &ctx, DamnAllocator &alloc,
+               std::unique_ptr<dma::DmaApi> fallback)
+        : ctx_(ctx), alloc_(alloc), fallback_(std::move(fallback))
+    {}
+
+    iommu::Iova
+    map(sim::CpuCursor &cpu, dma::Device &dev, mem::Pa pa,
+        std::uint32_t len, dma::Dir dir) override
+    {
+        cpu.charge(ctx_.cost.damnMapLookupNs);
+        if (alloc_.isDamnBuffer(pa)) {
+            // Long-lived mapping already exists; just look up the IOVA.
+            ctx_.stats.add("damn.map_hits");
+            return alloc_.iovaOf(pa);
+        }
+        return fallback_->map(cpu, dev, pa, len, dir);
+    }
+
+    void
+    unmap(sim::CpuCursor &cpu, dma::Device &dev, iommu::Iova dma_addr,
+          std::uint32_t len, dma::Dir dir) override
+    {
+        cpu.charge(ctx_.cost.damnUnmapCheckNs);
+        if (isDamnIova(dma_addr)) {
+            // Nothing to tear down; the buffer is freed later by the
+            // networking subsystem through damn_free.
+            ctx_.stats.add("damn.unmap_hits");
+            return;
+        }
+        fallback_->unmap(cpu, dev, dma_addr, len, dir);
+    }
+
+    void
+    unmapBatch(sim::CpuCursor &cpu, dma::Device &dev,
+               const std::vector<UnmapReq> &reqs) override
+    {
+        std::vector<UnmapReq> legacy;
+        for (const UnmapReq &r : reqs) {
+            cpu.charge(ctx_.cost.damnUnmapCheckNs);
+            if (isDamnIova(r.dmaAddr))
+                ctx_.stats.add("damn.unmap_hits");
+            else
+                legacy.push_back(r);
+        }
+        if (!legacy.empty())
+            fallback_->unmapBatch(cpu, dev, legacy);
+    }
+
+    void
+    flushPending(sim::CpuCursor &cpu) override
+    {
+        fallback_->flushPending(cpu);
+    }
+
+    const char *name() const override { return "damn"; }
+    bool subpage() const override { return true; }
+    bool windowFree() const override { return true; }
+    bool zeroCopy() const override { return true; }
+
+    DamnAllocator &allocator() { return alloc_; }
+    dma::DmaApi &fallback() { return *fallback_; }
+
+  private:
+    sim::Context &ctx_;
+    DamnAllocator &alloc_;
+    std::unique_ptr<dma::DmaApi> fallback_;
+};
+
+} // namespace damn::core
+
+#endif // DAMN_CORE_DAMN_DMA_HH

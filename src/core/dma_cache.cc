@@ -1,0 +1,346 @@
+/**
+ * @file
+ * DMA cache implementation.
+ */
+
+#include "core/dma_cache.hh"
+
+#include <cassert>
+
+namespace damn::core {
+
+namespace {
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr std::uint32_t
+alignUp(std::uint32_t v, std::uint32_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** log2 of a power-of-two page count. */
+unsigned
+orderOf(unsigned pages)
+{
+    unsigned o = 0;
+    while ((1u << o) < pages)
+        ++o;
+    assert((1u << o) == pages && "chunkPages must be a power of two");
+    return o;
+}
+
+} // namespace
+
+DmaCache::DmaCache(sim::Context &ctx, mem::PageAllocator &pa,
+                   iommu::Iommu &mmu, iommu::DomainId domain,
+                   std::uint32_t cache_id, std::uint32_t dev_idx,
+                   Rights rights, sim::NumaId numa,
+                   const DmaCacheConfig &config)
+    : ctx_(ctx), pageAlloc_(pa), iommu_(mmu), domain_(domain),
+      cacheId_(cache_id), devIdx_(dev_idx), rights_(rights), numa_(numa),
+      config_(config),
+      depot_(*this, config.magazineCapacity, ctx.cost.depotExchangeNs),
+      perCore_(ctx.machine.numCores())
+{
+    assert(config_.chunkPages >= 4 &&
+           "compound metadata needs the third page struct");
+    for (auto &ctxs : perCore_) {
+        for (auto &pc : ctxs) {
+            pc.loaded = Magazine(config_.magazineCapacity);
+            pc.prev = Magazine(config_.magazineCapacity);
+        }
+    }
+}
+
+iommu::Iova
+DmaCache::allocChunkIova(sim::CoreId creating_core)
+{
+    const std::uint64_t chunk_bytes = config_.chunkBytes();
+    if (config_.denseIova || config_.hugeIovaPages) {
+        // Analysis-only variants (Table 3): IOVAs are packed densely in
+        // a private 16 GiB region; no metadata is encoded.
+        const iommu::Iova base =
+            iommu::kDamnIovaBit | (std::uint64_t(cacheId_) << 34);
+        const iommu::Iova iova = base + denseNext_;
+        denseNext_ += chunk_bytes;
+        return iova;
+    }
+    std::uint64_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = nextSlot_++;
+    }
+    const std::uint64_t offset = slot * chunk_bytes;
+    assert(offset <= kOffsetMask && "DMA-cache IOVA region exhausted");
+    return encodeIova(creating_core, rights_, devIdx_, numa_, offset);
+}
+
+void
+DmaCache::initCompound(const Chunk &c)
+{
+    auto &pm = pageAlloc_.phys();
+    mem::Page &head = pm.page(c.pfn);
+    head.set(mem::PG_head);
+    head.order = std::uint8_t(orderOf(config_.chunkPages));
+    head.refcount = 0;
+    for (unsigned i = 1; i < config_.chunkPages; ++i) {
+        mem::Page &tail = pm.page(c.pfn + i);
+        tail.set(mem::PG_tail);
+        tail.compoundHead = c.pfn;
+    }
+    // DAMN metadata lives in tail page structs: the IOVA and owning
+    // cache id in the first tail page, the F flag on the *third* page
+    // (the head and second pages have predetermined semantics the
+    // paper must not repurpose -- section 5.5).
+    pm.page(c.pfn + 1).priv = c.iova;
+    pm.page(c.pfn + 1).priv2 = cacheId_;
+    pm.page(c.pfn + 2).set(mem::PG_damn);
+}
+
+void
+DmaCache::clearCompound(const Chunk &c)
+{
+    auto &pm = pageAlloc_.phys();
+    pm.page(c.pfn).clearFlag(mem::PG_head);
+    pm.page(c.pfn).order = 0;
+    for (unsigned i = 1; i < config_.chunkPages; ++i) {
+        mem::Page &tail = pm.page(c.pfn + i);
+        tail.clearFlag(mem::PG_tail);
+        tail.compoundHead = 0;
+    }
+    pm.page(c.pfn + 1).priv = 0;
+    pm.page(c.pfn + 1).priv2 = 0;
+    pm.page(c.pfn + 2).clearFlag(mem::PG_damn);
+}
+
+Chunk
+DmaCache::allocChunk(sim::CpuCursor &cpu)
+{
+    const unsigned order = orderOf(config_.chunkPages);
+    Chunk c;
+
+    if (config_.hugeIovaPages) {
+        if (hugeCarved_.empty()) {
+            // Allocate a whole 2 MiB physical block, map it with one
+            // huge PTE, and carve it into chunks.
+            constexpr unsigned kHugeOrder = 9; // 512 pages
+            cpu.charge(ctx_.cost.pageAllocNs);
+            const mem::Pfn block = pageAlloc_.allocPages(
+                kHugeOrder, numa_, /*zero=*/ctx_.functionalData);
+            assert(block != mem::kInvalidPfn);
+            cpu.charge(sim::TimeNs(double(iommu::kHugePageSize) /
+                                   ctx_.cost.zeroBytesPerNs));
+            const iommu::Iova block_iova = allocChunkIova(cpu.id());
+            // Huge mappings must be 2 MiB aligned in both spaces; the
+            // dense region base and chunk-multiple offsets guarantee
+            // IOVA alignment only if we round up.
+            assert((block_iova & (iommu::kHugePageSize - 1)) == 0);
+            if (config_.mapInIommu) {
+                cpu.charge(ctx_.cost.ptePerPageNs);
+                const bool ok = iommu_.mapHuge(domain_, block_iova,
+                                               mem::pfnToPa(block),
+                                               permOf(rights_));
+                assert(ok);
+                (void)ok;
+            }
+            const unsigned per_block = unsigned(
+                iommu::kHugePageSize / config_.chunkBytes());
+            for (unsigned i = 0; i < per_block; ++i) {
+                hugeCarved_.push_back(Chunk{
+                    block + std::uint64_t(i) * config_.chunkPages,
+                    block_iova + std::uint64_t(i) * config_.chunkBytes(),
+                });
+            }
+            // Keep denseNext_ 2 MiB aligned for the next block.
+            denseNext_ = alignUp32MiB();
+        }
+        c = hugeCarved_.back();
+        hugeCarved_.pop_back();
+        initCompound(c);
+        ++ownedChunks_;
+        ctx_.stats.add("damn.chunks_allocated");
+        return c;
+    }
+
+    cpu.charge(ctx_.cost.pageAllocNs);
+    c.pfn = pageAlloc_.allocPages(order, numa_,
+                                  /*zero=*/ctx_.functionalData);
+    assert(c.pfn != mem::kInvalidPfn && "OS page allocator exhausted");
+    // The depot zeroes every chunk it obtains from the OS (TX security,
+    // section 5.6); zeroing costs CPU time.
+    cpu.charge(sim::TimeNs(double(config_.chunkBytes()) /
+                           ctx_.cost.zeroBytesPerNs));
+
+    if (config_.mapInIommu) {
+        c.iova = allocChunkIova(cpu.id());
+        cpu.charge(ctx_.cost.ptePerPageNs * config_.chunkPages);
+        for (unsigned i = 0; i < config_.chunkPages; ++i) {
+            const bool ok = iommu_.mapPage(
+                domain_, c.iova + std::uint64_t(i) * mem::kPageSize,
+                mem::pfnToPa(c.pfn + i), permOf(rights_));
+            assert(ok && "DAMN chunk IOVA already mapped");
+            (void)ok;
+        }
+    } else {
+        // "damn without iommu" (Table 3): DMA address == PA.
+        c.iova = mem::pfnToPa(c.pfn);
+    }
+
+    initCompound(c);
+    ++ownedChunks_;
+    ctx_.stats.add("damn.chunks_allocated");
+    return c;
+}
+
+std::uint64_t
+DmaCache::alignUp32MiB()
+{
+    const std::uint64_t mask = iommu::kHugePageSize - 1;
+    return (denseNext_ + mask) & ~mask;
+}
+
+void
+DmaCache::releaseChunk(sim::CpuCursor &cpu, const Chunk &c)
+{
+    assert(!config_.hugeIovaPages &&
+           "huge-page variant chunks are never released (analysis only)");
+    auto &pm = pageAlloc_.phys();
+    assert(pm.page(c.pfn).refcount == 0 && "releasing a live chunk");
+
+    if (config_.mapInIommu) {
+        cpu.charge(ctx_.cost.ptePerPageNs * config_.chunkPages);
+        for (unsigned i = 0; i < config_.chunkPages; ++i) {
+            const bool ok = iommu_.unmapPage(
+                domain_, c.iova + std::uint64_t(i) * mem::kPageSize);
+            assert(ok);
+            (void)ok;
+        }
+        if (!config_.denseIova) {
+            const IovaFields f = decodeIova(c.iova);
+            freeSlots_.push_back(f.offset / config_.chunkBytes());
+        }
+    }
+
+    clearCompound(c);
+    cpu.charge(ctx_.cost.pageAllocNs);
+    pageAlloc_.freePages(c.pfn, orderOf(config_.chunkPages));
+    assert(ownedChunks_ > 0);
+    --ownedChunks_;
+    ctx_.stats.add("damn.chunks_released");
+}
+
+Chunk
+DmaCache::getChunk(sim::CpuCursor &cpu, PerCore &pc)
+{
+    cpu.charge(ctx_.cost.magazineOpNs);
+    if (!pc.loaded.empty())
+        return pc.loaded.pop();
+    if (!pc.prev.empty()) {
+        std::swap(pc.loaded, pc.prev);
+        return pc.loaded.pop();
+    }
+    depot_.exchangeForFull(cpu, pc.loaded);
+    return pc.loaded.pop();
+}
+
+void
+DmaCache::putChunk(sim::CpuCursor &cpu, PerCore &pc, const Chunk &c)
+{
+    cpu.charge(ctx_.cost.magazineOpNs);
+    if (!pc.loaded.full()) {
+        pc.loaded.push(c);
+        return;
+    }
+    if (pc.prev.empty()) {
+        std::swap(pc.loaded, pc.prev);
+        pc.loaded.push(c);
+        return;
+    }
+    depot_.exchangeForEmpty(cpu, pc.loaded);
+    pc.loaded.push(c);
+}
+
+void
+DmaCache::retireBumpChunk(sim::CpuCursor &cpu, PerCore &pc, BumpState &bs)
+{
+    if (!bs.chunk.valid())
+        return;
+    mem::Page &head = pageAlloc_.phys().page(bs.chunk.pfn);
+    assert(head.refcount > 0);
+    if (--head.refcount == 0)
+        putChunk(cpu, pc, bs.chunk);
+    bs.chunk = Chunk{};
+    bs.offset = 0;
+}
+
+mem::Pa
+DmaCache::alloc(sim::CpuCursor &cpu, std::uint32_t size,
+                std::uint32_t align, AllocCtx actx)
+{
+    assert(size > 0 && size <= config_.chunkBytes());
+    assert((align & (align - 1)) == 0 && "alignment must be a power of 2");
+    cpu.charge(ctx_.cost.damnFastAllocNs);
+
+    PerCore &pc = state(cpu.id(), actx);
+    BumpState &bs = align >= mem::kPageSize ? pc.pageBump : pc.bump;
+
+    std::uint32_t start = alignUp(bs.offset, align);
+    if (!bs.chunk.valid() || start + size > config_.chunkBytes()) {
+        retireBumpChunk(cpu, pc, bs);
+        bs.chunk = getChunk(cpu, pc);
+        bs.offset = 0;
+        start = 0;
+        // Install the allocator's bias reference.
+        pageAlloc_.phys().page(bs.chunk.pfn).refcount = 1;
+    }
+
+    bs.offset = start + size;
+    ++pageAlloc_.phys().page(bs.chunk.pfn).refcount;
+    ctx_.stats.add("damn.allocs");
+    return mem::pfnToPa(bs.chunk.pfn) + start;
+}
+
+void
+DmaCache::recycleChunk(sim::CpuCursor &cpu, const Chunk &chunk,
+                       AllocCtx actx)
+{
+    putChunk(cpu, state(cpu.id(), actx), chunk);
+    ctx_.stats.add("damn.chunks_recycled");
+}
+
+iommu::Iova
+DmaCache::iovaOf(mem::Pa pa) const
+{
+    const auto &pm = pageAlloc_.phys();
+    const mem::Pfn pfn = mem::paToPfn(pa);
+    const mem::Page &pg = pm.page(pfn);
+    const mem::Pfn head =
+        pg.test(mem::PG_head) ? pfn : pg.compoundHead;
+    const iommu::Iova chunk_iova = pm.page(head + 1).priv;
+    const std::uint64_t delta = pa - mem::pfnToPa(head);
+    return chunk_iova + delta;
+}
+
+std::uint64_t
+DmaCache::shrink(sim::CpuCursor &cpu)
+{
+    if (config_.hugeIovaPages)
+        return 0; // analysis-only variant: never shrunk
+    std::uint64_t released = 0;
+    for (auto &ctxs : perCore_) {
+        for (auto &pc : ctxs) {
+            for (Magazine *m : {&pc.loaded, &pc.prev}) {
+                for (Chunk &c : m->drain()) {
+                    releaseChunk(cpu, c);
+                    ++released;
+                }
+            }
+        }
+    }
+    released += depot_.shrink(cpu);
+    return released;
+}
+
+} // namespace damn::core

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Magazines and depot (Bonwick & Adams, USENIX ATC'01) specialized for
+ * DAMN's physical page chunks (paper section 5.4).
+ *
+ * A magazine is an M-element per-core LIFO of objects; manipulating it
+ * needs no synchronization.  A core allocates/frees against its
+ * *loaded* magazine first, then its *previous* magazine, and only on
+ * failure exchanges a magazine with the global depot (lock-protected).
+ * The two-magazine scheme guarantees at least M allocations and M
+ * deallocations between depot visits.
+ */
+
+#ifndef DAMN_CORE_MAGAZINE_HH
+#define DAMN_CORE_MAGAZINE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "iommu/io_pgtable.hh"
+#include "mem/page_alloc.hh"
+#include "sim/cpu_cursor.hh"
+#include "sim/sim_mutex.hh"
+
+namespace damn::core {
+
+/** A DMA-cache chunk: C contiguous pages, permanently IOMMU-mapped. */
+struct Chunk
+{
+    mem::Pfn pfn = mem::kInvalidPfn;
+    iommu::Iova iova = 0;
+
+    bool valid() const { return pfn != mem::kInvalidPfn; }
+};
+
+/** Fixed-capacity per-core LIFO of chunks. */
+class Magazine
+{
+  public:
+    explicit Magazine(unsigned capacity = 16) : cap_(capacity)
+    {
+        slots_.reserve(capacity);
+    }
+
+    bool empty() const { return slots_.empty(); }
+    bool full() const { return slots_.size() == cap_; }
+    unsigned size() const { return unsigned(slots_.size()); }
+    unsigned capacity() const { return cap_; }
+
+    /** Pop the most recently pushed chunk; magazine must be non-empty. */
+    Chunk
+    pop()
+    {
+        assert(!empty());
+        const Chunk c = slots_.back();
+        slots_.pop_back();
+        return c;
+    }
+
+    /** Push a chunk; magazine must not be full. */
+    void
+    push(const Chunk &c)
+    {
+        assert(!full());
+        slots_.push_back(c);
+    }
+
+    /** Drain all chunks (shrinker path). */
+    std::vector<Chunk>
+    drain()
+    {
+        return std::exchange(slots_, {});
+    }
+
+  private:
+    unsigned cap_;
+    std::vector<Chunk> slots_;
+};
+
+/**
+ * Source of fresh chunks backing a depot; implemented by the DMA cache
+ * (page allocation + zeroing + permanent IOMMU mapping).
+ */
+class ChunkSource
+{
+  public:
+    virtual ~ChunkSource() = default;
+
+    /** Produce a fresh, zeroed, IOMMU-mapped chunk. */
+    virtual Chunk allocChunk(sim::CpuCursor &cpu) = 0;
+
+    /** Return a chunk to the OS (shrinker): unmap + free pages. */
+    virtual void releaseChunk(sim::CpuCursor &cpu, const Chunk &c) = 0;
+};
+
+/**
+ * The global depot: full and empty magazines behind a lock, falling
+ * back to the chunk source when no full magazine is available.
+ */
+class Depot
+{
+  public:
+    Depot(ChunkSource &source, unsigned magazine_capacity,
+          sim::TimeNs exchange_hold_ns)
+        : source_(source), magCap_(magazine_capacity),
+          holdNs_(exchange_hold_ns)
+    {}
+
+    /**
+     * Exchange an empty (or partial) magazine for a full one.
+     * The caller's magazine is drained into the depot's empty pool and
+     * a full magazine is returned through @p mag.
+     */
+    void
+    exchangeForFull(sim::CpuCursor &cpu, Magazine &mag)
+    {
+        cpu.time = lock_.acquireAndHold(*cpu.core, cpu.time, holdNs_);
+        // Stash whatever the caller still holds.
+        for (Chunk &c : mag.drain())
+            spare_.push_back(c);
+        if (fulls_.empty())
+            refill(cpu);
+        mag = std::move(fulls_.back());
+        fulls_.pop_back();
+        ++exchanges_;
+    }
+
+    /**
+     * Exchange a full magazine for an empty one (deallocation side).
+     */
+    void
+    exchangeForEmpty(sim::CpuCursor &cpu, Magazine &mag)
+    {
+        cpu.time = lock_.acquireAndHold(*cpu.core, cpu.time, holdNs_);
+        fulls_.push_back(std::move(mag));
+        mag = Magazine(magCap_);
+        ++exchanges_;
+    }
+
+    /** Chunks cached in the depot (full magazines + spares). */
+    std::uint64_t
+    cachedChunks() const
+    {
+        std::uint64_t n = spare_.size();
+        for (const auto &m : fulls_)
+            n += m.size();
+        return n;
+    }
+
+    /**
+     * Shrinker: release every cached chunk back to the OS.
+     * @return number of chunks released.
+     */
+    std::uint64_t
+    shrink(sim::CpuCursor &cpu)
+    {
+        cpu.time = lock_.acquireAndHold(*cpu.core, cpu.time, holdNs_);
+        std::uint64_t n = 0;
+        for (auto &m : fulls_) {
+            for (Chunk &c : m.drain()) {
+                source_.releaseChunk(cpu, c);
+                ++n;
+            }
+        }
+        fulls_.clear();
+        for (Chunk &c : spare_) {
+            source_.releaseChunk(cpu, c);
+            ++n;
+        }
+        spare_.clear();
+        return n;
+    }
+
+    std::uint64_t exchanges() const { return exchanges_; }
+
+  private:
+    /** Fill one magazine from spares/fresh chunks. Lock already held. */
+    void
+    refill(sim::CpuCursor &cpu)
+    {
+        Magazine m(magCap_);
+        while (!m.full()) {
+            if (!spare_.empty()) {
+                m.push(spare_.back());
+                spare_.pop_back();
+            } else {
+                m.push(source_.allocChunk(cpu));
+            }
+        }
+        fulls_.push_back(std::move(m));
+    }
+
+    ChunkSource &source_;
+    unsigned magCap_;
+    sim::TimeNs holdNs_;
+    sim::SimMutex lock_;
+    std::vector<Magazine> fulls_;
+    std::vector<Chunk> spare_;
+    std::uint64_t exchanges_ = 0;
+};
+
+} // namespace damn::core
+
+#endif // DAMN_CORE_MAGAZINE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Device DMA data path: per-page translation through the IOMMU.
+ */
+
+#include "dma/device.hh"
+
+#include <algorithm>
+
+namespace damn::dma {
+
+DmaOutcome
+Device::dmaAccess(sim::TimeNs now, iommu::Iova addr, void *buf,
+                  std::uint64_t len, bool is_write)
+{
+    DmaOutcome out;
+    auto *cursor = static_cast<std::uint8_t *>(buf);
+    sim::TimeNs latency = 0;
+    std::uint64_t remaining = len;
+    iommu::Iova iova = addr;
+
+    while (remaining > 0) {
+        const std::uint64_t page_room =
+            mem::kPageSize - (iova & (mem::kPageSize - 1));
+        const std::uint64_t chunk = std::min(remaining, page_room);
+
+        const iommu::TranslateResult tr =
+            iommu_.translate(domain_, iova, is_write);
+        latency += tr.latencyNs;
+        if (!tr.ok) {
+            out.fault = true;
+            ++faultedDmas_;
+            break;
+        }
+        if (cursor != nullptr) {
+            if (is_write)
+                pm_.write(tr.pa, cursor, chunk);
+            else
+                pm_.read(tr.pa, cursor, chunk);
+            cursor += chunk;
+        }
+
+        out.bytesDone += chunk;
+        iova += chunk;
+        remaining -= chunk;
+    }
+
+    // Device traffic crosses the memory controllers (scaled for DDIO).
+    const auto mem_bytes = std::uint64_t(
+        double(out.bytesDone) * ctx_.cost.dmaMemTrafficFactor);
+    const sim::TimeNs bw_done = ctx_.memBw.transfer(now, mem_bytes);
+    out.walkNs = latency;
+    out.completes = std::max(now + latency, bw_done);
+    out.ok = !out.fault;
+    return out;
+}
+
+DmaOutcome
+Device::dmaWrite(sim::TimeNs now, iommu::Iova addr, const void *src,
+                 std::uint64_t len)
+{
+    // dmaAccess writes from the buffer into memory; the const_cast is
+    // safe because is_write=true only reads from buf.
+    return dmaAccess(now, addr, const_cast<void *>(src), len, true);
+}
+
+DmaOutcome
+Device::dmaRead(sim::TimeNs now, iommu::Iova addr, void *dst,
+                std::uint64_t len)
+{
+    return dmaAccess(now, addr, dst, len, false);
+}
+
+} // namespace damn::dma

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The DMA API: the layer at which all *prior* IOMMU protection schemes
+ * enforce their boundary (paper sections 3-4).
+ *
+ * Drivers dma_map a buffer before programming a device with its DMA
+ * address and dma_unmap it on completion.  The pluggable protection
+ * scheme decides what those operations cost and what security they buy:
+ *
+ *  - passthrough  (iommu-off): DMA address == physical address.
+ *  - strict:      unmap synchronously invalidates the IOTLB.
+ *  - deferred:    unmap batches invalidations (vulnerability window).
+ *  - shadow:      per-DMA copy through permanently-mapped shadow pages.
+ *
+ * DAMN's interposition layer (core/damn_dma.hh) wraps any of these as
+ * the fallback path for non-DAMN buffers (paper section 5.3).
+ */
+
+#ifndef DAMN_DMA_DMA_API_HH
+#define DAMN_DMA_DMA_API_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dma/device.hh"
+#include "iommu/io_pgtable.hh"
+#include "sim/cpu_cursor.hh"
+
+namespace damn::dma {
+
+/** DMA direction, as in the Linux DMA API. */
+enum class Dir
+{
+    ToDevice,       //!< device reads (transmit buffers)
+    FromDevice,     //!< device writes (receive buffers)
+    Bidirectional,
+};
+
+/** IOMMU permission required for a direction. */
+constexpr std::uint32_t
+permFor(Dir d)
+{
+    switch (d) {
+      case Dir::ToDevice:
+        return iommu::PermRead;
+      case Dir::FromDevice:
+        return iommu::PermWrite;
+      default:
+        return iommu::PermRW;
+    }
+}
+
+/**
+ * Abstract DMA-mapping API with a pluggable protection scheme.
+ */
+class DmaApi
+{
+  public:
+    virtual ~DmaApi() = default;
+
+    /**
+     * Map @p len bytes at kernel address @p pa for DMA by @p dev.
+     * Charges the scheme's CPU costs to @p cpu.
+     * @return the DMA address to program into the device.
+     */
+    virtual iommu::Iova map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
+                            std::uint32_t len, Dir dir) = 0;
+
+    /**
+     * Unmap a previously mapped buffer.  @p dma_addr and @p len must
+     * match the map call.
+     */
+    virtual void unmap(sim::CpuCursor &cpu, Device &dev,
+                       iommu::Iova dma_addr, std::uint32_t len,
+                       Dir dir) = 0;
+
+    /** One entry of a scatter-gather unmap. */
+    struct UnmapReq
+    {
+        iommu::Iova dmaAddr;
+        std::uint32_t len;
+        Dir dir;
+    };
+
+    /**
+     * Unmap a scatter-gather list (dma_unmap_sg): schemes that pay a
+     * per-invalidation cost issue a single IOTLB invalidation for the
+     * whole list, as Linux does.  Default: per-entry unmap.
+     */
+    virtual void
+    unmapBatch(sim::CpuCursor &cpu, Device &dev,
+               const std::vector<UnmapReq> &reqs)
+    {
+        for (const UnmapReq &r : reqs)
+            unmap(cpu, dev, r.dmaAddr, r.len, r.dir);
+    }
+
+    /** Scheme name as used in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    // ---- Table 1 properties ----------------------------------------
+    /** Protects at sub-page (byte) granularity. */
+    virtual bool subpage() const = 0;
+    /** No post-unmap vulnerability window. */
+    virtual bool windowFree() const = 0;
+    /** Compatible with zero-copy I/O paths. */
+    virtual bool zeroCopy() const = 0;
+
+    /** Force any batched invalidations out now (deferred scheme). */
+    virtual void flushPending(sim::CpuCursor &) {}
+};
+
+} // namespace damn::dma
+
+#endif // DAMN_DMA_DMA_API_HH

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Protection scheme implementations.
+ */
+
+#include "dma/schemes.hh"
+
+#include <cassert>
+
+namespace damn::dma {
+
+const char *
+schemeKindName(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::IommuOff:
+        return "iommu-off";
+      case SchemeKind::Strict:
+        return "strict";
+      case SchemeKind::Deferred:
+        return "deferred";
+      case SchemeKind::Shadow:
+        return "shadow";
+      case SchemeKind::Damn:
+        return "damn";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// MappedDmaApi (shared map path of strict/deferred)
+// ---------------------------------------------------------------------
+
+iommu::Iova
+MappedDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
+                  std::uint32_t len, Dir dir)
+{
+    assert(len > 0);
+    const unsigned pages = coveringPages(pa, len);
+
+    // IOVA allocation: fast per-CPU cache, occasional slow rbtree path.
+    cpu.charge(ctx_.cost.iovaAllocNs);
+    if (ctx_.rng.chance(ctx_.cost.iovaSlowPathRate))
+        cpu.charge(ctx_.cost.iovaAllocSlowNs);
+    const iommu::Iova iova = iovaAlloc_.alloc(pages);
+
+    // Write PTEs covering the buffer's pages.  Page granularity: data
+    // co-located on those pages becomes device-accessible too.
+    cpu.charge(ctx_.cost.ptePerPageNs * pages);
+    const mem::Pa page_base = pa & ~(mem::kPageSize - 1);
+    const std::uint32_t perm = permFor(dir);
+    for (unsigned i = 0; i < pages; ++i) {
+        const bool ok = iommu_.mapPage(
+            dev.domain(), iova + std::uint64_t(i) * mem::kPageSize,
+            page_base + std::uint64_t(i) * mem::kPageSize, perm);
+        assert(ok && "double map of an IOVA");
+        (void)ok;
+    }
+
+    ctx_.stats.add("dma.map");
+    ctx_.stats.add("dma.map_pages", pages);
+    return iova + mem::pageOffset(pa);
+}
+
+void
+MappedDmaApi::clearPtes(sim::CpuCursor &cpu, Device &dev,
+                        iommu::Iova dma_addr, std::uint32_t len,
+                        iommu::Iova *iova_base, unsigned *pages)
+{
+    *iova_base = dma_addr & ~iommu::Iova(mem::kPageSize - 1);
+    *pages = coveringPages(dma_addr, len);
+    cpu.charge(ctx_.cost.ptePerPageNs * *pages);
+    for (unsigned i = 0; i < *pages; ++i) {
+        const bool ok = iommu_.unmapPage(
+            dev.domain(), *iova_base + std::uint64_t(i) * mem::kPageSize);
+        assert(ok && "unmap of an unmapped IOVA");
+        (void)ok;
+    }
+    ctx_.stats.add("dma.unmap");
+}
+
+// ---------------------------------------------------------------------
+// StrictDmaApi
+// ---------------------------------------------------------------------
+
+void
+StrictDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
+                    iommu::Iova dma_addr, std::uint32_t len, Dir)
+{
+    iommu::Iova iova_base;
+    unsigned pages;
+    clearPtes(cpu, dev, dma_addr, len, &iova_base, &pages);
+
+    // Synchronous IOTLB invalidation under the global queue lock; the
+    // full hardware round trip is spent holding it.
+    const sim::TimeNs done = iommu_.invalQueue().syncInvalidate(
+        *cpu.core, cpu.time, iommu_.iotlb(), dev.domain(), iova_base,
+        std::uint64_t(pages) * mem::kPageSize);
+    cpu.waitUntil(done);
+    // Pipelined invalidation engines: spin for the completion outside
+    // the submission lock.
+    cpu.charge(ctx_.cost.strictPostWaitNs);
+
+    iovaAlloc_.free(iova_base, pages);
+    ctx_.stats.add("dma.strict_invalidations");
+}
+
+void
+StrictDmaApi::unmapBatch(sim::CpuCursor &cpu, Device &dev,
+                         const std::vector<UnmapReq> &reqs)
+{
+    if (reqs.empty())
+        return;
+    // Clear all PTEs, then pay for a single invalidate + wait round
+    // trip covering every range (how dma_unmap_sg behaves).
+    std::vector<std::pair<iommu::Iova, unsigned>> ranges;
+    ranges.reserve(reqs.size());
+    for (const UnmapReq &r : reqs) {
+        iommu::Iova base;
+        unsigned pages;
+        clearPtes(cpu, dev, r.dmaAddr, r.len, &base, &pages);
+        ranges.emplace_back(base, pages);
+    }
+    cpu.time = iommu_.invalQueue().lock().acquireAndHold(
+        *cpu.core, cpu.time, ctx_.cost.strictInvalidateNs,
+        ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
+    cpu.charge(ctx_.cost.strictPostWaitNs);
+    for (const auto &[base, pages] : ranges) {
+        iommu_.iotlb().invalidateRange(
+            dev.domain(), base, std::uint64_t(pages) * mem::kPageSize);
+        iovaAlloc_.free(base, pages);
+    }
+    ctx_.stats.add("dma.strict_invalidations");
+}
+
+// ---------------------------------------------------------------------
+// DeferredDmaApi
+// ---------------------------------------------------------------------
+
+void
+DeferredDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
+                      iommu::Iova dma_addr, std::uint32_t len, Dir)
+{
+    iommu::Iova iova_base;
+    unsigned pages;
+    clearPtes(cpu, dev, dma_addr, len, &iova_base, &pages);
+
+    // Queue for a batched flush; the IOVA is recycled only after the
+    // flush (reusing it earlier would re-expose a stale translation to
+    // the *new* owner's data).
+    cpu.charge(ctx_.cost.deferredUnmapNs);
+    flushQueue_.push_back({iova_base, pages});
+
+    if (flushQueue_.size() >= ctx_.cost.deferredBatch) {
+        flushPending(cpu);
+    } else {
+        armTimer(cpu.id());
+    }
+}
+
+void
+DeferredDmaApi::flushPending(sim::CpuCursor &cpu)
+{
+    if (flushQueue_.empty())
+        return;
+    const sim::TimeNs done = iommu_.invalQueue().batchedFlush(
+        *cpu.core, cpu.time, iommu_.iotlb());
+    cpu.waitUntil(done);
+    for (const PendingUnmap &p : flushQueue_)
+        iovaAlloc_.free(p.iova, p.pages);
+    ctx_.stats.add("dma.deferred_flushes");
+    ctx_.stats.add("dma.deferred_flushed_unmaps", flushQueue_.size());
+    flushQueue_.clear();
+}
+
+void
+DeferredDmaApi::armTimer(sim::CoreId core)
+{
+    if (timerArmed_)
+        return;
+    timerArmed_ = true;
+    ctx_.engine.scheduleIn(ctx_.cost.deferredFlushTimerNs, [this, core] {
+        timerArmed_ = false;
+        // The flush timer runs in softirq context on the arming core.
+        sim::CpuCursor cpu(ctx_.machine.core(core), ctx_.engine.now());
+        flushPending(cpu);
+    });
+}
+
+// ---------------------------------------------------------------------
+// ShadowDmaApi
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Shadow buckets: powers of two from 512 B to 128 KiB. */
+constexpr std::uint32_t kMinShadow = 512;
+constexpr unsigned kNumBuckets = 9; // 512 .. 128K
+
+constexpr std::uint32_t
+bucketSize(unsigned b)
+{
+    return kMinShadow << b;
+}
+
+} // namespace
+
+ShadowDmaApi::ShadowDmaApi(sim::Context &ctx, iommu::Iommu &mmu,
+                           mem::PageAllocator &pa)
+    : ctx_(ctx), iommu_(mmu), pageAlloc_(pa)
+{}
+
+unsigned
+ShadowDmaApi::bucketFor(std::uint32_t len)
+{
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        if (len <= bucketSize(b))
+            return b;
+    assert(false && "shadow DMA larger than 128 KiB");
+    return kNumBuckets - 1;
+}
+
+ShadowDmaApi::Pool &
+ShadowDmaApi::poolOf(Device &dev)
+{
+    Pool &p = pools_[dev.domain()];
+    if (p.buckets.empty())
+        p.buckets.resize(kNumBuckets);
+    return p;
+}
+
+ShadowDmaApi::ShadowBuf
+ShadowDmaApi::poolAlloc(sim::CpuCursor &cpu, Device &dev,
+                        std::uint32_t len)
+{
+    Pool &pool = poolOf(dev);
+    const unsigned bucket = bucketFor(len);
+    cpu.charge(ctx_.cost.shadowPoolOpNs);
+    auto &freelist = pool.buckets[bucket];
+    if (freelist.empty()) {
+        // Grow the pool: one order-5 (128 KiB) block carved into
+        // bucket-size shadow buffers, mapped R/W *once*, permanently.
+        const unsigned order = 5;
+        const mem::Pfn pfn =
+            pageAlloc_.allocPages(order, dev.numa(), /*zero=*/true);
+        assert(pfn != mem::kInvalidPfn);
+        poolFrames_ += 1u << order;
+        const std::uint64_t block = mem::kPageSize << order;
+        const iommu::Iova iova = iovaAlloc_.alloc(1u << order);
+        for (unsigned i = 0; i < (1u << order); ++i) {
+            iommu_.mapPage(dev.domain(),
+                           iova + std::uint64_t(i) * mem::kPageSize,
+                           mem::pfnToPa(pfn + i), iommu::PermRW);
+        }
+        const std::uint32_t sz = bucketSize(bucket);
+        for (std::uint64_t off = 0; off + sz <= block; off += sz)
+            freelist.push_back({mem::pfnToPa(pfn) + off, iova + off,
+                                bucket});
+        ctx_.stats.add("shadow.pool_grow");
+    }
+    const ShadowBuf buf = freelist.back();
+    freelist.pop_back();
+    return buf;
+}
+
+void
+ShadowDmaApi::poolFree(Device &dev, const ShadowBuf &buf)
+{
+    poolOf(dev).buckets[buf.bucket].push_back(buf);
+}
+
+iommu::Iova
+ShadowDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
+                  std::uint32_t len, Dir dir)
+{
+    assert(len > 0);
+    ShadowBuf buf = poolAlloc(cpu, dev, len);
+
+    if (dir == Dir::ToDevice || dir == Dir::Bidirectional) {
+        // Copy outbound data into the shadow buffer.  The source was
+        // just written by the sender, so it is LLC-resident.
+        // The destination shadow buffer is DRAM-cold, so the full
+        // read+write traffic reaches the controllers.
+        cpu.charge(ctx_.copyCost(
+            cpu.time, len, ctx_.cost.shadowTxCopyBytesPerNs,
+            std::uint64_t(2.0 * len * ctx_.cost.coldCopyMemFactor)));
+        if (ctx_.functionalData)
+            pm().copy(buf.pa, pa, len);
+        ctx_.stats.add("shadow.tx_copied_bytes", len);
+    }
+
+    active_[buf.iova] = ActiveMap{buf, pa, len, dir};
+    ctx_.stats.add("dma.map");
+    return buf.iova;
+}
+
+void
+ShadowDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
+                    iommu::Iova dma_addr, std::uint32_t len, Dir dir)
+{
+    auto it = active_.find(dma_addr);
+    assert(it != active_.end() && "shadow unmap of unknown DMA address");
+    ActiveMap am = it->second;
+    active_.erase(it);
+    assert(am.len == len);
+    (void)len;
+
+    if (dir == Dir::FromDevice || dir == Dir::Bidirectional) {
+        // Copy inbound data out of the shadow buffer into the driver's
+        // buffer — destination is a cold kmalloc()ed buffer.
+        cpu.charge(ctx_.copyCost(
+            cpu.time, am.len, ctx_.cost.coldCopyBytesPerNs,
+            std::uint64_t(2.0 * am.len * ctx_.cost.coldCopyMemFactor)));
+        if (ctx_.functionalData)
+            pm().copy(am.origPa, am.buf.pa, am.len);
+        ctx_.stats.add("shadow.rx_copied_bytes", am.len);
+    }
+
+    cpu.charge(ctx_.cost.shadowPoolOpNs);
+    poolFree(dev, am.buf);
+    ctx_.stats.add("dma.unmap");
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<DmaApi>
+makeScheme(SchemeKind kind, sim::Context &ctx, iommu::Iommu &mmu,
+           mem::PageAllocator &pa)
+{
+    switch (kind) {
+      case SchemeKind::IommuOff:
+        return std::make_unique<PassthroughDmaApi>(ctx);
+      case SchemeKind::Strict:
+        return std::make_unique<StrictDmaApi>(ctx, mmu);
+      case SchemeKind::Deferred:
+        return std::make_unique<DeferredDmaApi>(ctx, mmu);
+      case SchemeKind::Shadow:
+        return std::make_unique<ShadowDmaApi>(ctx, mmu, pa);
+      case SchemeKind::Damn:
+        assert(false && "use core::makeDamnSystem for SchemeKind::Damn");
+        return nullptr;
+    }
+    return nullptr;
+}
+
+} // namespace damn::dma

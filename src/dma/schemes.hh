@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Concrete DMA-API protection schemes evaluated by the paper.
+ */
+
+#ifndef DAMN_DMA_SCHEMES_HH
+#define DAMN_DMA_SCHEMES_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dma/dma_api.hh"
+#include "iommu/iova_alloc.hh"
+#include "mem/page_alloc.hh"
+
+namespace damn::dma {
+
+/** Scheme selector matching the paper's figure legends. */
+enum class SchemeKind
+{
+    IommuOff,
+    Strict,
+    Deferred,
+    Shadow,
+    Damn,       //!< constructed by core/, listed here for experiments
+};
+
+const char *schemeKindName(SchemeKind k);
+
+/**
+ * iommu-off: no protection at all; DMA address == physical address.
+ * The paper's unprotected performance baseline.
+ */
+class PassthroughDmaApi : public DmaApi
+{
+  public:
+    explicit PassthroughDmaApi(sim::Context &ctx) : ctx_(ctx) {}
+
+    iommu::Iova
+    map(sim::CpuCursor &, Device &, mem::Pa pa, std::uint32_t,
+        Dir) override
+    {
+        return pa;
+    }
+
+    void
+    unmap(sim::CpuCursor &, Device &, iommu::Iova, std::uint32_t,
+          Dir) override
+    {}
+
+    const char *name() const override { return "iommu-off"; }
+    bool subpage() const override { return false; }
+    bool windowFree() const override { return false; }
+    bool zeroCopy() const override { return true; }
+
+  private:
+    sim::Context &ctx_;
+};
+
+/**
+ * Shared machinery for the map side of strict and deferred: allocate an
+ * IOVA range, write PTEs for the covering pages.  Page granularity —
+ * data co-located on the buffer's pages becomes device-accessible,
+ * hence only *partial* protection (paper section 4.1).
+ */
+class MappedDmaApi : public DmaApi
+{
+  public:
+    MappedDmaApi(sim::Context &ctx, iommu::Iommu &mmu)
+        : ctx_(ctx), iommu_(mmu)
+    {}
+
+    iommu::Iova map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
+                    std::uint32_t len, Dir dir) override;
+
+    bool subpage() const override { return false; }
+    bool zeroCopy() const override { return true; }
+
+  protected:
+    /** Covering page count of a (pa, len) buffer. */
+    static unsigned
+    coveringPages(mem::Pa pa, std::uint32_t len)
+    {
+        const mem::Pa start = pa & ~(mem::kPageSize - 1);
+        const mem::Pa end = pa + len;
+        return unsigned((end - start + mem::kPageSize - 1) >>
+                        mem::kPageShift);
+    }
+
+    /** Clear the PTEs of a mapping (both schemes do this eagerly). */
+    void clearPtes(sim::CpuCursor &cpu, Device &dev, iommu::Iova dma_addr,
+                   std::uint32_t len, iommu::Iova *iova_base,
+                   unsigned *pages);
+
+    sim::Context &ctx_;
+    iommu::Iommu &iommu_;
+    iommu::IovaAllocator iovaAlloc_;
+};
+
+/**
+ * strict: dma_unmap synchronously invalidates the IOTLB before
+ * returning.  Secure at page granularity, but every unmap takes the
+ * global invalidation-queue lock for the full hardware round trip.
+ */
+class StrictDmaApi : public MappedDmaApi
+{
+  public:
+    using MappedDmaApi::MappedDmaApi;
+
+    void unmap(sim::CpuCursor &cpu, Device &dev, iommu::Iova dma_addr,
+               std::uint32_t len, Dir dir) override;
+
+    /** dma_unmap_sg: one synchronous invalidation for the whole list. */
+    void unmapBatch(sim::CpuCursor &cpu, Device &dev,
+                    const std::vector<UnmapReq> &reqs) override;
+
+    const char *name() const override { return "strict"; }
+    bool windowFree() const override { return true; }
+};
+
+/**
+ * deferred (Linux default): dma_unmap clears PTEs but batches IOTLB
+ * invalidation until ~250 requests accumulate or 10 ms pass.  Until the
+ * flush, a device with a warm IOTLB entry can still access the buffer —
+ * the TOCTTOU / data-theft window the paper demonstrates.
+ */
+class DeferredDmaApi : public MappedDmaApi
+{
+  public:
+    using MappedDmaApi::MappedDmaApi;
+
+    void unmap(sim::CpuCursor &cpu, Device &dev, iommu::Iova dma_addr,
+               std::uint32_t len, Dir dir) override;
+
+    void flushPending(sim::CpuCursor &cpu) override;
+
+    const char *name() const override { return "deferred"; }
+    bool windowFree() const override { return false; }
+
+    unsigned pendingFlushes() const { return unsigned(flushQueue_.size()); }
+
+  private:
+    void armTimer(sim::CoreId core);
+
+    struct PendingUnmap
+    {
+        iommu::Iova iova;
+        unsigned pages;
+    };
+
+    std::vector<PendingUnmap> flushQueue_;
+    bool timerArmed_ = false;
+};
+
+/**
+ * shadow buffers (Markuze et al., ASPLOS'16): DMA is restricted to a
+ * pool of permanently-mapped shadow pages; map/unmap copy data between
+ * the driver's buffer and a shadow buffer.  Full byte-granularity
+ * protection, no invalidations — but one extra copy per DMAed byte.
+ */
+class ShadowDmaApi : public DmaApi
+{
+  public:
+    ShadowDmaApi(sim::Context &ctx, iommu::Iommu &mmu,
+                 mem::PageAllocator &pa);
+
+    iommu::Iova map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
+                    std::uint32_t len, Dir dir) override;
+    void unmap(sim::CpuCursor &cpu, Device &dev, iommu::Iova dma_addr,
+               std::uint32_t len, Dir dir) override;
+
+    const char *name() const override { return "shadow"; }
+    bool subpage() const override { return true; }
+    bool windowFree() const override { return true; }
+    bool zeroCopy() const override { return false; }
+
+    /** Frames pinned by shadow pools (all devices). */
+    std::uint64_t poolFrames() const { return poolFrames_; }
+
+  private:
+    struct ShadowBuf
+    {
+        mem::Pa pa;
+        iommu::Iova iova;
+        unsigned bucket;
+    };
+
+    struct ActiveMap
+    {
+        ShadowBuf buf;
+        mem::Pa origPa;
+        std::uint32_t len;
+        Dir dir;
+    };
+
+    /** Per-device shadow pool: permanently-mapped, bucketed free lists. */
+    struct Pool
+    {
+        std::vector<std::vector<ShadowBuf>> buckets;
+    };
+
+    static unsigned bucketFor(std::uint32_t len);
+    mem::PhysicalMemory &pm() { return pageAlloc_.phys(); }
+    ShadowBuf poolAlloc(sim::CpuCursor &cpu, Device &dev,
+                        std::uint32_t len);
+    void poolFree(Device &dev, const ShadowBuf &buf);
+    Pool &poolOf(Device &dev);
+
+    sim::Context &ctx_;
+    iommu::Iommu &iommu_;
+    mem::PageAllocator &pageAlloc_;
+    iommu::IovaAllocator iovaAlloc_;
+    std::unordered_map<iommu::DomainId, Pool> pools_;
+    std::unordered_map<iommu::Iova, ActiveMap> active_;
+    std::uint64_t poolFrames_ = 0;
+};
+
+/**
+ * Construct a DMA-API-based scheme.  SchemeKind::Damn is built by
+ * core/damn_dma.hh (it needs the DAMN allocator).
+ */
+std::unique_ptr<DmaApi> makeScheme(SchemeKind kind, sim::Context &ctx,
+                                   iommu::Iommu &mmu,
+                                   mem::PageAllocator &pa);
+
+} // namespace damn::dma
+
+#endif // DAMN_DMA_SCHEMES_HH

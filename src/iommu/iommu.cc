@@ -1,0 +1,50 @@
+/**
+ * @file
+ * IOMMU translation path.
+ */
+
+#include "iommu/iommu.hh"
+
+namespace damn::iommu {
+
+TranslateResult
+Iommu::translate(DomainId d, Iova iova, bool is_write)
+{
+    TranslateResult r;
+    if (!enabled_) {
+        r.ok = true;
+        r.pa = iova; // identity: DMA address == physical address
+        return r;
+    }
+
+    const std::uint32_t need = is_write ? PermWrite : PermRead;
+
+    if (const TlbEntry *e = iotlb_.lookup(d, iova)) {
+        if ((e->perm & need) == need) {
+            const std::uint64_t mask =
+                (e->huge ? kHugePageSize : mem::kPageSize) - 1;
+            r.ok = true;
+            r.pa = e->paPage | (iova & mask);
+            return r;
+        }
+        // Permission fault despite a cached translation.
+        r.fault = true;
+        ++faults_;
+        return r;
+    }
+
+    const WalkResult w = pageTable(d).walk(iova);
+    r.latencyNs = iotlb_.walkCached(d, iova) ? ctx_.cost.iotlbWalkPwcNs
+                                             : ctx_.cost.iotlbWalkNs;
+    if (!w.present || (w.perm & need) != need) {
+        r.fault = true;
+        ++faults_;
+        return r;
+    }
+    iotlb_.insert(d, iova, w);
+    r.ok = true;
+    r.pa = w.pa;
+    return r;
+}
+
+} // namespace damn::iommu

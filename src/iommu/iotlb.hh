@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Set-associative IOTLB model.
+ *
+ * Caches IOVA-to-PA translations per domain.  Crucially for the
+ * paper's security analysis, a stale IOTLB entry keeps a translation
+ * *functionally alive* after the page-table entry is gone — this is the
+ * deferred-mode vulnerability window the attack tests exploit.
+ */
+
+#ifndef DAMN_IOMMU_IOTLB_HH
+#define DAMN_IOMMU_IOTLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "iommu/io_pgtable.hh"
+
+namespace damn::iommu {
+
+/** Identifier of an IOMMU domain (one per attached device here). */
+using DomainId = std::uint32_t;
+
+/** One cached translation. */
+struct TlbEntry
+{
+    bool valid = false;
+    DomainId domain = 0;
+    Iova iovaPage = 0;          //!< page-aligned tag (4 KiB or 2 MiB)
+    mem::Pa paPage = 0;
+    std::uint32_t perm = 0;
+    bool huge = false;
+    std::uint64_t lastUse = 0;  //!< LRU stamp
+};
+
+/**
+ * Two-bank set-associative IOTLB: a 4 KiB bank and a 2 MiB bank, as in
+ * real VT-d implementations.  A 2 MiB entry covers 512x the IOVA range,
+ * which is why Table 3's huge+dense variant gains throughput.
+ */
+class Iotlb
+{
+  public:
+    /**
+     * @param sets4k / @p ways4k  geometry of the 4 KiB bank.
+     * @param sets2m / @p ways2m  geometry of the 2 MiB bank.
+     */
+    Iotlb(unsigned sets4k = 256, unsigned ways4k = 4,
+          unsigned sets2m = 32, unsigned ways2m = 4)
+        : sets4k_(sets4k), ways4k_(ways4k),
+          sets2m_(sets2m), ways2m_(ways2m),
+          bank4k_(std::size_t(sets4k) * ways4k),
+          bank2m_(std::size_t(sets2m) * ways2m)
+    {}
+
+    /** Look up @p iova for @p domain; returns nullptr on miss. */
+    const TlbEntry *lookup(DomainId domain, Iova iova);
+
+    /**
+     * Page-walk-cache lookup+fill for a missing translation: true when
+     * the upper page-table levels for @p iova's 2 MiB region are
+     * cached, making the walk cheap.  DAMN's metadata-in-IOVA encoding
+     * spreads buffers across many 2 MiB regions (one per allocating
+     * core x cache), which thrashes this cache — the effect Table 3's
+     * dense-IOVA variant removes.
+     */
+    bool walkCached(DomainId domain, Iova iova);
+
+    /** Insert a walk result (evicts LRU way of the set). */
+    void insert(DomainId domain, Iova iova, const WalkResult &walk);
+
+    /** Invalidate any entry covering [@p iova, @p iova + @p len). */
+    void invalidateRange(DomainId domain, Iova iova, std::uint64_t len);
+
+    /** Invalidate everything belonging to @p domain. */
+    void invalidateDomain(DomainId domain);
+
+    /** Invalidate the whole IOTLB (global flush). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total == 0 ? 0.0 : double(hits_) / double(total);
+    }
+
+    void
+    resetAccounting()
+    {
+        hits_ = 0;
+        misses_ = 0;
+        invalidations_ = 0;
+    }
+
+  private:
+    TlbEntry *setBase(bool huge, DomainId domain, Iova page_tag);
+    unsigned waysOf(bool huge) const { return huge ? ways2m_ : ways4k_; }
+
+    /** Page-walk cache: fully associative LRU of 2 MiB region tags. */
+    struct PwcEntry
+    {
+        bool valid = false;
+        DomainId domain = 0;
+        Iova tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+    static constexpr unsigned kPwcEntries = 32;
+
+    unsigned sets4k_, ways4k_, sets2m_, ways2m_;
+    std::vector<TlbEntry> bank4k_;
+    std::vector<TlbEntry> bank2m_;
+    std::vector<PwcEntry> pwc_ = std::vector<PwcEntry>(kPwcEntries);
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t invalidations_ = 0;
+};
+
+} // namespace damn::iommu
+
+#endif // DAMN_IOMMU_IOTLB_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Size-class slab allocator: the simulated kernel's kmalloc.
+ *
+ * Deliberately reproduces the property the paper exploits to motivate
+ * byte-granularity protection: unrelated allocations are co-located on
+ * the same physical page, so page-granularity IOMMU mappings of a
+ * kmalloc()ed DMA buffer expose neighbouring kernel data to the device
+ * (paper section 4.1, "partial protection").  Security tests allocate a
+ * "secret" next to a packet buffer and verify which protection schemes
+ * let a malicious device read it.
+ */
+
+#ifndef DAMN_MEM_KMALLOC_HH
+#define DAMN_MEM_KMALLOC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/page_alloc.hh"
+#include "mem/phys.hh"
+
+namespace damn::mem {
+
+/** Slab-style kmalloc over the buddy allocator. */
+class KmallocHeap
+{
+  public:
+    /** kmalloc size classes, bytes (power-of-two like Linux's). */
+    static constexpr std::array<std::uint32_t, 10> kClasses = {
+        8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+    };
+
+    explicit KmallocHeap(PageAllocator &pa) : pa_(pa)
+    {
+        slabs_.resize(kClasses.size());
+    }
+
+    KmallocHeap(const KmallocHeap &) = delete;
+    KmallocHeap &operator=(const KmallocHeap &) = delete;
+
+    /**
+     * Allocate @p size bytes (<= 4096), 8-byte aligned, physically
+     * contiguous.  Larger requests must use the page allocator, as in
+     * Linux.
+     * @return kernel address (Pa), or 0 on exhaustion.
+     */
+    Pa kmalloc(std::uint32_t size);
+
+    /** Free a kmalloc()ed object. */
+    void kfree(Pa addr);
+
+    /** Size class that would serve a request of @p size bytes. */
+    static unsigned classFor(std::uint32_t size);
+
+    /** Bytes currently allocated (object granularity). */
+    std::uint64_t allocatedBytes() const { return allocatedBytes_; }
+    /** Live objects. */
+    std::uint64_t liveObjects() const { return liveObjects_; }
+    /** Pages pinned by the heap (partially-full slabs included). */
+    std::uint64_t pinnedPages() const { return pinnedPages_; }
+
+  private:
+    struct SlabClass
+    {
+        std::vector<Pa> freeList;   //!< free objects, LIFO
+        std::uint64_t pages = 0;
+    };
+
+    void refill(unsigned cls);
+
+    PageAllocator &pa_;
+    std::vector<SlabClass> slabs_;
+    std::uint64_t allocatedBytes_ = 0;
+    std::uint64_t liveObjects_ = 0;
+    std::uint64_t pinnedPages_ = 0;
+};
+
+} // namespace damn::mem
+
+#endif // DAMN_MEM_KMALLOC_HH

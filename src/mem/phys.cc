@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PhysicalMemory data-path implementation.
+ */
+
+#include "mem/phys.hh"
+
+#include <algorithm>
+
+namespace damn::mem {
+
+void
+PhysicalMemory::write(Pa pa, const void *src, std::uint64_t len)
+{
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const Pfn pfn = paToPfn(pa);
+        const std::uint64_t off = pageOffset(pa);
+        const std::uint64_t chunk = std::min(len, kPageSize - off);
+        std::memcpy(backing(pfn) + off, s, chunk);
+        pa += chunk;
+        s += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysicalMemory::read(Pa pa, void *dst, std::uint64_t len) const
+{
+    auto *d = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const Pfn pfn = paToPfn(pa);
+        const std::uint64_t off = pageOffset(pa);
+        const std::uint64_t chunk = std::min(len, kPageSize - off);
+        std::memcpy(d, backingConst(pfn) + off, chunk);
+        pa += chunk;
+        d += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysicalMemory::fill(Pa pa, std::uint8_t value, std::uint64_t len)
+{
+    while (len > 0) {
+        const Pfn pfn = paToPfn(pa);
+        const std::uint64_t off = pageOffset(pa);
+        const std::uint64_t chunk = std::min(len, kPageSize - off);
+        std::memset(backing(pfn) + off, value, chunk);
+        pa += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysicalMemory::copy(Pa dst, Pa src, std::uint64_t len)
+{
+    // Buffers never overlap in practice (distinct allocations); do a
+    // simple bounce through a stack buffer per chunk to stay safe.
+    std::uint8_t tmp[512];
+    while (len > 0) {
+        const std::uint64_t chunk = std::min<std::uint64_t>(len,
+                                                            sizeof(tmp));
+        read(src, tmp, chunk);
+        write(dst, tmp, chunk);
+        src += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint8_t
+PhysicalMemory::readByte(Pa pa) const
+{
+    return backingConst(paToPfn(pa))[pageOffset(pa)];
+}
+
+void
+PhysicalMemory::writeByte(Pa pa, std::uint8_t v)
+{
+    backing(paToPfn(pa))[pageOffset(pa)] = v;
+}
+
+} // namespace damn::mem

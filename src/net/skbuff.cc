@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Skbuff accessor / TOCTTOU-guard implementation.
+ */
+
+#include "net/skbuff.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace damn::net {
+
+bool
+SkbAccessor::needsSecuring(const SkbSegment &seg) const
+{
+    // Decide by the *backing memory*, not the ownership marker: split
+    // leftovers of a partially-secured segment are owner=Borrowed (the
+    // bookkeeping piece owns the chunk reference) but still live in
+    // device-writable DAMN memory and must be secured on access.
+    if (seg.secured || seg.len == 0 || alloc_ == nullptr)
+        return false;
+    if (!alloc_->isDamnBuffer(seg.pa))
+        return false;
+    // Only device-*writable* memory can be changed under the OS's feet.
+    const core::Rights r = alloc_->rightsOf(seg.pa);
+    return r == core::Rights::Write || r == core::Rights::RW;
+}
+
+std::uint64_t
+SkbAccessor::secureRange(sim::CpuCursor &cpu, SkBuff &skb,
+                         std::uint32_t off, std::uint32_t len)
+{
+    std::uint64_t copied = 0;
+    std::uint32_t cursor = 0;
+
+    for (std::size_t i = 0; i < skb.segs.size() && len > 0; ++i) {
+        SkbSegment &seg = skb.segs[i];
+        const std::uint32_t seg_start = cursor;
+        const std::uint32_t seg_end = cursor + seg.len;
+        cursor = seg_end;
+        if (off >= seg_end || off + len <= seg_start)
+            continue;
+        if (!needsSecuring(seg))
+            continue;
+
+        // Overlap of [off, off+len) with this segment, in segment-local
+        // coordinates.
+        const std::uint32_t lo = std::max(off, seg_start) - seg_start;
+        const std::uint32_t hi =
+            std::min<std::uint64_t>(off + std::uint64_t(len), seg_end) -
+            seg_start;
+        const std::uint32_t n = hi - lo;
+
+        // Copy the accessed bytes into kernel memory the device cannot
+        // reach.  Data was just DMAed, so the source is LLC-warm.
+        mem::Pa safe;
+        SegOwner owner;
+        if (n <= 4096) {
+            safe = heap_.kmalloc(n);
+            owner = SegOwner::Kmalloc;
+            cpu.charge(ctx_.cost.kmallocNs);
+        } else {
+            unsigned order = 0;
+            while ((mem::kPageSize << order) < n)
+                ++order;
+            safe = mem::pfnToPa(pageAlloc_.allocPages(order, cpu.numa()));
+            owner = SegOwner::Pages;
+            cpu.charge(ctx_.cost.pageAllocNs);
+        }
+        cpu.charge(ctx_.copyCost(
+            cpu.time, n, ctx_.cost.warmCopyBytesPerNs,
+            std::uint64_t(2.0 * n * ctx_.cost.copyMemTrafficFactor)));
+        if (ctx_.functionalData)
+            pm_.copy(safe, seg.pa + lo, n);
+
+        // Split the segment: [0,lo) raw | [lo,hi) secured | [hi,len).
+        std::vector<SkbSegment> repl;
+        if (lo > 0) {
+            SkbSegment pre = seg;
+            pre.len = lo;
+            // Only the *last* owned piece keeps ownership so the
+            // backing buffer is freed exactly once.
+            pre.owner = SegOwner::Borrowed;
+            pre.dmaMapped = false;
+            repl.push_back(pre);
+        }
+        SkbSegment sec;
+        sec.pa = safe;
+        sec.len = n;
+        sec.owner = owner;
+        sec.secured = true;
+        if (n > 4096) {
+            unsigned order = 0;
+            while ((mem::kPageSize << order) < n)
+                ++order;
+            sec.pageOrder = std::uint8_t(order);
+        }
+        repl.push_back(sec);
+        if (hi < seg.len) {
+            SkbSegment post = seg;
+            post.pa = seg.pa + hi;
+            post.len = seg.len - hi;
+            post.owner = SegOwner::Borrowed;
+            post.dmaMapped = false;
+            repl.push_back(post);
+        }
+        // The original backing buffer stays alive until the skb is
+        // freed: hand its ownership (and DMA-mapping state) to a
+        // zero-visible-length bookkeeping piece appended at the end of
+        // the replacement list so freeSkb still releases it.
+        SkbSegment keeper = seg;
+        keeper.len = 0;
+        keeper.secured = true;
+        repl.push_back(keeper);
+
+        skb.segs.erase(skb.segs.begin() + long(i));
+        skb.segs.insert(skb.segs.begin() + long(i), repl.begin(),
+                        repl.end());
+        i += repl.size() - 1;
+
+        copied += n;
+        // Rewind the walk cursor: the replacement pieces cover the
+        // same byte range as the original segment.
+        cursor = seg_end;
+    }
+
+    securedBytes_ += copied;
+    ctx_.stats.add("guard.secured_bytes", copied);
+    return copied;
+}
+
+void
+SkbAccessor::access(sim::CpuCursor &cpu, SkBuff &skb, std::uint32_t off,
+                    std::uint32_t len, void *dst)
+{
+    assert(off + std::uint64_t(len) <= skb.len());
+    secureRange(cpu, skb, off, len);
+
+    if (dst != nullptr && ctx_.functionalData) {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        std::uint32_t cursor = 0;
+        std::uint32_t remaining = len;
+        for (const SkbSegment &seg : skb.segs) {
+            if (remaining == 0)
+                break;
+            const std::uint32_t seg_start = cursor;
+            const std::uint32_t seg_end = cursor + seg.len;
+            cursor = seg_end;
+            if (off >= seg_end || seg.len == 0)
+                continue;
+            const std::uint32_t lo =
+                off > seg_start ? off - seg_start : 0;
+            const std::uint32_t n =
+                std::min(seg.len - lo, remaining);
+            pm_.read(seg.pa + lo, out, n);
+            out += n;
+            off += n;
+            remaining -= n;
+        }
+        assert(remaining == 0);
+    }
+}
+
+void
+SkbAccessor::freeSkb(sim::CpuCursor &cpu, SkBuff &skb,
+                     core::AllocCtx actx)
+{
+    for (SkbSegment &seg : skb.segs) {
+        assert(!seg.dmaMapped &&
+               "freeing an skb segment still mapped for DMA");
+        switch (seg.owner) {
+          case SegOwner::Damn:
+            assert(alloc_ != nullptr);
+            alloc_->damnFree(cpu, seg.pa, actx);
+            break;
+          case SegOwner::Kmalloc:
+            cpu.charge(ctx_.cost.kmallocNs);
+            heap_.kfree(seg.pa);
+            break;
+          case SegOwner::Pages:
+            cpu.charge(ctx_.cost.pageAllocNs);
+            pageAlloc_.freePages(mem::paToPfn(seg.pa), seg.pageOrder);
+            break;
+          case SegOwner::PageFrag:
+            frag_.free(cpu, seg.pa);
+            break;
+          case SegOwner::Borrowed:
+            break;
+        }
+        seg.owner = SegOwner::Borrowed;
+    }
+    skb.segs.clear();
+}
+
+} // namespace damn::net

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Socket buffers (skbuffs) and the accessor API DAMN interposes on.
+ *
+ * Packet data may live in a non-contiguous set of buffers, so all OS
+ * code must access it through this accessor API (paper section 5.2).
+ * That API is DAMN's TOCTTOU interposition point: the first time the
+ * OS touches a byte range whose backing store is device-writable DAMN
+ * memory, the range is copied into a kernel buffer out of the device's
+ * reach, and the skbuff is adjusted to point at the copy.  The device
+ * can then no longer change data the OS has already seen.
+ */
+
+#ifndef DAMN_NET_SKBUFF_HH
+#define DAMN_NET_SKBUFF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/damn_allocator.hh"
+#include "dma/dma_api.hh"
+#include "iommu/io_pgtable.hh"
+#include "mem/page_frag.hh"
+#include "mem/phys.hh"
+#include "sim/cpu_cursor.hh"
+
+namespace damn::net {
+
+/** How a data segment of an skbuff is owned / should be freed. */
+enum class SegOwner : std::uint8_t
+{
+    Damn,       //!< damn_alloc'ed (freed via damn_free)
+    Kmalloc,    //!< kmalloc'ed
+    Pages,      //!< raw pages from the buddy allocator
+    PageFrag,   //!< sk_page_frag fragment (stock TX payload)
+    Borrowed,   //!< not owned (e.g., shared clone); never freed
+};
+
+/** One contiguous piece of packet data. */
+struct SkbSegment
+{
+    mem::Pa pa = 0;
+    std::uint32_t len = 0;
+    SegOwner owner = SegOwner::Borrowed;
+    std::uint8_t pageOrder = 0;   //!< for SegOwner::Pages
+    bool secured = false;         //!< already copied out of device reach
+
+    // DMA-mapping state while the segment is device-visible.
+    iommu::Iova dmaAddr = 0;
+    std::uint32_t dmaLen = 0;
+    bool dmaMapped = false;
+    dma::Dir dmaDir = dma::Dir::FromDevice;
+};
+
+/**
+ * A socket buffer: an ordered list of data segments plus packet
+ * metadata.  (Linux's head+frags layout collapses to the same thing
+ * for our purposes: an ordered set of contiguous byte ranges.)
+ */
+class SkBuff
+{
+  public:
+    std::vector<SkbSegment> segs;
+    dma::Device *dev = nullptr;     //!< originating/target device
+    std::uint32_t headerLen = 66;   //!< Ethernet+IP+TCP header bytes
+
+    /** Total packet bytes. */
+    std::uint32_t
+    len() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &s : segs)
+            n += s.len;
+        return n;
+    }
+
+    /** Append a data segment. */
+    void
+    append(const SkbSegment &seg)
+    {
+        segs.push_back(seg);
+    }
+};
+
+/**
+ * The TOCTTOU guard: interposes on skbuff data accesses and copies
+ * device-writable DAMN bytes to kernel memory on first OS access.
+ *
+ * For non-DAMN configurations, the guard degrades to a plain reader
+ * (the data either is in kernel memory already, or the scheme made it
+ * inaccessible to the device at dma_unmap time).
+ */
+class SkbAccessor
+{
+  public:
+    /**
+     * @param alloc  the DAMN allocator, or nullptr when the system
+     *               under test does not use DAMN.
+     */
+    SkbAccessor(sim::Context &ctx, mem::PageAllocator &pa,
+                mem::KmallocHeap &heap, mem::PageFragAllocator &frag,
+                core::DamnAllocator *alloc)
+        : ctx_(ctx), pageAlloc_(pa), pm_(pa.phys()), heap_(heap),
+          frag_(frag), alloc_(alloc)
+    {}
+
+    /**
+     * OS read of packet bytes [off, off+len): secures the range first
+     * if needed, then optionally copies it to @p dst (may be nullptr
+     * for a touch-only access such as checksum or filter inspection;
+     * the securing copy still happens).
+     */
+    void access(sim::CpuCursor &cpu, SkBuff &skb, std::uint32_t off,
+                std::uint32_t len, void *dst = nullptr);
+
+    /**
+     * Copy device-writable DAMN bytes [off, off+len) into kernel
+     * buffers and repoint the skbuff (the core of section 5.2).
+     * Ranges already secured are skipped.
+     * @return bytes actually copied.
+     */
+    std::uint64_t secureRange(sim::CpuCursor &cpu, SkBuff &skb,
+                              std::uint32_t off, std::uint32_t len);
+
+    /** Free all owned segments of @p skb. */
+    void freeSkb(sim::CpuCursor &cpu, SkBuff &skb,
+                 core::AllocCtx actx = core::AllocCtx::Standard);
+
+    /** Cumulative bytes the guard copied (figure 8 accounting). */
+    std::uint64_t securedBytes() const { return securedBytes_; }
+
+  private:
+    bool needsSecuring(const SkbSegment &seg) const;
+
+    sim::Context &ctx_;
+    mem::PageAllocator &pageAlloc_;
+    mem::PhysicalMemory &pm_;
+    mem::KmallocHeap &heap_;
+    mem::PageFragAllocator &frag_;
+    core::DamnAllocator *alloc_;
+    std::uint64_t securedBytes_ = 0;
+};
+
+} // namespace damn::net
+
+#endif // DAMN_NET_SKBUFF_HH

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Driver + TCP-lite implementation.
+ */
+
+#include "net/stack.hh"
+
+#include <cassert>
+
+namespace damn::net {
+
+// ---------------------------------------------------------------------
+// NicDriver
+// ---------------------------------------------------------------------
+
+RxBuffer
+NicDriver::allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
+                         core::AllocCtx actx)
+{
+    RxBuffer buf;
+    buf.seg.len = bytes;
+    buf.seg.dmaDir = dma::Dir::FromDevice;
+
+    unsigned order = 0;
+    while ((mem::kPageSize << order) < bytes)
+        ++order;
+
+    if (sys_.damnMode()) {
+        // dma_alloc_skb flavor: buffer comes from DAMN, device-writable.
+        const mem::Pfn pfn = sys_.damn->damnAllocPages(
+            cpu, &nic_, core::Rights::Write, order, actx);
+        assert(pfn != mem::kInvalidPfn);
+        buf.seg.pa = mem::pfnToPa(pfn);
+        buf.seg.owner = SegOwner::Damn;
+    } else {
+        cpu.charge(sys_.ctx.cost.pageAllocNs);
+        const mem::Pfn pfn =
+            sys_.pageAlloc.allocPages(order, cpu.numa());
+        assert(pfn != mem::kInvalidPfn);
+        buf.seg.pa = mem::pfnToPa(pfn);
+        buf.seg.owner = SegOwner::Pages;
+        buf.seg.pageOrder = std::uint8_t(order);
+    }
+
+    // Unmodified driver: always goes through the DMA API.  For DAMN
+    // buffers the interposition returns the permanent IOVA.
+    buf.seg.dmaAddr = sys_.dmaApi->map(cpu, nic_, buf.seg.pa, bytes,
+                                       dma::Dir::FromDevice);
+    buf.seg.dmaLen = bytes;
+    buf.seg.dmaMapped = true;
+    return buf;
+}
+
+SkBuff
+NicDriver::rxBuild(sim::CpuCursor &cpu, RxBuffer buf,
+                   std::uint32_t actual_len)
+{
+    assert(buf.seg.dmaMapped);
+    sys_.dmaApi->unmap(cpu, nic_, buf.seg.dmaAddr, buf.seg.dmaLen,
+                       dma::Dir::FromDevice);
+    buf.seg.dmaMapped = false;
+
+    SkBuff skb;
+    skb.dev = &nic_;
+    buf.seg.len = actual_len;
+    skb.append(buf.seg);
+    return skb;
+}
+
+void
+NicDriver::txMap(sim::CpuCursor &cpu, SkBuff &skb)
+{
+    for (SkbSegment &seg : skb.segs) {
+        if (seg.len == 0)
+            continue;
+        seg.dmaAddr = sys_.dmaApi->map(cpu, nic_, seg.pa, seg.len,
+                                       dma::Dir::ToDevice);
+        seg.dmaLen = seg.len;
+        seg.dmaDir = dma::Dir::ToDevice;
+        seg.dmaMapped = true;
+    }
+}
+
+void
+NicDriver::txUnmap(sim::CpuCursor &cpu, SkBuff &skb)
+{
+    std::vector<dma::DmaApi::UnmapReq> reqs;
+    for (SkbSegment &seg : skb.segs) {
+        if (!seg.dmaMapped)
+            continue;
+        reqs.push_back({seg.dmaAddr, seg.dmaLen, seg.dmaDir});
+        seg.dmaMapped = false;
+    }
+    sys_.dmaApi->unmapBatch(cpu, nic_, reqs);
+}
+
+std::vector<std::pair<iommu::Iova, std::uint32_t>>
+NicDriver::sgOf(const SkBuff &skb) const
+{
+    std::vector<std::pair<iommu::Iova, std::uint32_t>> sg;
+    sg.reserve(skb.segs.size());
+    for (const SkbSegment &seg : skb.segs)
+        if (seg.dmaMapped)
+            sg.emplace_back(seg.dmaAddr, seg.dmaLen);
+    return sg;
+}
+
+// ---------------------------------------------------------------------
+// TcpStack
+// ---------------------------------------------------------------------
+
+void
+TcpStack::chargeCopy(sim::CpuCursor &cpu, std::uint64_t bytes,
+                     double bytes_per_ns)
+{
+    const auto &c = sys_.ctx.cost;
+    // Copy traffic (read + write streams, partially LLC-absorbed)
+    // occupies the memory controllers; when they are saturated the
+    // copy stretches and the extra stall is CPU-visible.
+    const auto mem_bytes =
+        std::uint64_t(2.0 * double(bytes) * c.copyMemTrafficFactor);
+    cpu.charge(sys_.ctx.copyCost(cpu.time, bytes, bytes_per_ns,
+                                 mem_bytes));
+}
+
+void
+TcpStack::rxSegment(sim::CpuCursor &cpu, SkBuff &skb, double factor)
+{
+    const auto &c = sys_.ctx.cost;
+    cpu.charge(sim::TimeNs(double(c.irqPerSegmentNs +
+                                  c.driverPerBufferNs) * factor));
+
+    // Netfilter hooks see the (reassembled) segment first.
+    for (const NetfilterHook &hook : hooks_)
+        hook(cpu, skb, sys_.accessor());
+
+    // TCP/IP processing reads the headers through the accessor API;
+    // under DAMN this is the copy that takes them out of the device's
+    // reach (section 5.2).
+    sys_.accessor().access(cpu, skb, 0,
+                           std::min(skb.headerLen, skb.len()));
+
+    cpu.charge(sim::TimeNs(double(c.stackPerSegmentNs) * factor));
+    cpu.charge(c.ackPerSegmentNs);
+    sys_.ctx.stats.add("net.rx_segments");
+    sys_.ctx.stats.add("net.rx_bytes", skb.len());
+}
+
+void
+TcpStack::appRead(sim::CpuCursor &cpu, SkBuff &skb, double factor,
+                  core::AllocCtx actx)
+{
+    (void)factor;
+    // The POSIX copy_to_user boundary: freshly-DMAed data is LLC-warm
+    // (DDIO).  Under DAMN this copy doubles as the security boundary
+    // for payload bytes -- no extra work.
+    chargeCopy(cpu, skb.len(), sys_.ctx.cost.warmCopyBytesPerNs);
+    sys_.accessor().freeSkb(cpu, skb, actx);
+    sys_.ctx.stats.add("net.user_read_bytes", skb.len());
+}
+
+SkBuff
+TcpStack::txBuild(sim::CpuCursor &cpu, std::uint32_t seg_bytes,
+                  double factor, core::AllocCtx actx)
+{
+    const auto &c = sys_.ctx.cost;
+    SkBuff skb;
+    skb.dev = &nic_;
+
+    // Head buffer (protocol headers + a little data).
+    SkbSegment head;
+    head.len = kTxHeadBytes;
+    if (sys_.damnMode()) {
+        head.pa = sys_.damn->damnAlloc(cpu, &nic_, core::Rights::Read,
+                                       kTxHeadBytes, actx);
+        head.owner = SegOwner::Damn;
+    } else {
+        cpu.charge(c.kmallocNs);
+        head.pa = sys_.heap.kmalloc(kTxHeadBytes);
+        head.owner = SegOwner::Kmalloc;
+    }
+    skb.append(head);
+
+    // Payload frags, filled by the copy_from_user at the socket write.
+    std::uint32_t remaining = seg_bytes;
+    while (remaining > 0) {
+        const std::uint32_t n = std::min(remaining, kTxFragBytes);
+        SkbSegment frag;
+        frag.len = n;
+        if (sys_.damnMode()) {
+            frag.pa = sys_.damn->damnAlloc(cpu, &nic_,
+                                           core::Rights::Read, n, actx);
+            frag.owner = SegOwner::Damn;
+        } else {
+            // Stock kernel: TX payload comes from the per-core
+            // sk_page_frag bump allocator.
+            frag.pa = sys_.pageFrag.alloc(cpu, n);
+            frag.owner = SegOwner::PageFrag;
+        }
+        skb.append(frag);
+        remaining -= n;
+    }
+
+    // copy_from_user of the payload: netperf cycles one send buffer,
+    // so the source is cache-hot.
+    chargeCopy(cpu, seg_bytes, c.txUserCopyBytesPerNs);
+
+    cpu.charge(sim::TimeNs(double(c.stackPerSegmentNs) * factor));
+    cpu.charge(c.ackPerSegmentNs);
+
+    driver.txMap(cpu, skb);
+    sys_.ctx.stats.add("net.tx_segments");
+    sys_.ctx.stats.add("net.tx_bytes", seg_bytes);
+    return skb;
+}
+
+SkBuff
+TcpStack::txBuildZeroCopy(sim::CpuCursor &cpu,
+                          const std::vector<mem::Pa> &file_pages,
+                          std::uint32_t seg_bytes, double factor,
+                          core::AllocCtx actx)
+{
+    const auto &c = sys_.ctx.cost;
+    SkBuff skb;
+    skb.dev = &nic_;
+
+    // Headers still need a (tiny) kernel buffer.
+    SkbSegment head;
+    head.len = kTxHeadBytes;
+    if (sys_.damnMode()) {
+        head.pa = sys_.damn->damnAlloc(cpu, &nic_, core::Rights::Read,
+                                       kTxHeadBytes, actx);
+        head.owner = SegOwner::Damn;
+    } else {
+        cpu.charge(c.kmallocNs);
+        head.pa = sys_.heap.kmalloc(kTxHeadBytes);
+        head.owner = SegOwner::Kmalloc;
+    }
+    skb.append(head);
+
+    // File pages attach as borrowed frags: no copy at all.
+    std::uint32_t remaining = seg_bytes;
+    for (const mem::Pa pa : file_pages) {
+        if (remaining == 0)
+            break;
+        SkbSegment frag;
+        frag.pa = pa;
+        frag.len = std::min<std::uint32_t>(remaining,
+                                           std::uint32_t(mem::kPageSize));
+        frag.owner = SegOwner::Borrowed; // the page cache owns them
+        skb.append(frag);
+        remaining -= frag.len;
+    }
+    assert(remaining == 0 && "not enough file pages for seg_bytes");
+
+    cpu.charge(sim::TimeNs(double(c.stackPerSegmentNs) * factor));
+    driver.txMap(cpu, skb);
+    sys_.ctx.stats.add("net.tx_zerocopy_segments");
+    return skb;
+}
+
+void
+TcpStack::txComplete(sim::CpuCursor &cpu, SkBuff &skb, double factor,
+                     core::AllocCtx actx)
+{
+    const auto &c = sys_.ctx.cost;
+    cpu.charge(sim::TimeNs(double(c.irqPerSegmentNs +
+                                  c.driverPerBufferNs) * factor));
+    driver.txUnmap(cpu, skb);
+    sys_.accessor().freeSkb(cpu, skb, actx);
+}
+
+} // namespace damn::net

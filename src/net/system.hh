@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A complete simulated machine ("deployment") under one protection
+ * scheme: memory, IOMMU, DMA API, and — for the damn scheme — the DAMN
+ * allocator wired in as the DMA-API interposition layer.
+ *
+ * Experiments construct one System per evaluated configuration; there
+ * is no global state, so a bench can build five Systems (iommu-off,
+ * strict, deferred, shadow, damn) side by side.
+ */
+
+#ifndef DAMN_NET_SYSTEM_HH
+#define DAMN_NET_SYSTEM_HH
+
+#include <memory>
+
+#include "core/damn_dma.hh"
+#include "dma/schemes.hh"
+#include "mem/kmalloc.hh"
+#include "net/skbuff.hh"
+
+namespace damn::net {
+
+/** Configuration of a simulated machine. */
+struct SystemParams
+{
+    dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    std::uint64_t physBytes = 1ull << 32;   //!< 4 GiB (sparsely backed)
+    sim::CostModel cost{};
+    unsigned sockets = 2;
+    unsigned coresPerSocket = 14;
+
+    // DAMN variants (Table 3).
+    core::DmaCacheConfig damnCache{};
+    /** damn's fallback scheme for non-DAMN buffers (section 5.3). */
+    dma::SchemeKind damnFallback = dma::SchemeKind::Deferred;
+};
+
+/** Everything one experiment machine owns. */
+class System
+{
+  public:
+    explicit System(SystemParams p)
+        : params(p),
+          ctx(p.cost, p.sockets, p.coresPerSocket),
+          phys(p.physBytes),
+          pageAlloc(phys, p.sockets),
+          heap(pageAlloc),
+          mmu(ctx, /*enabled=*/schemeUsesIommu(p)),
+          pageFrag(ctx, pageAlloc),
+          accessorStorage_()
+    {
+        if (p.scheme == dma::SchemeKind::Damn) {
+            damn = std::make_unique<core::DamnAllocator>(
+                ctx, pageAlloc, heap, mmu,
+                core::DamnConfig{p.damnCache});
+            // Non-DAMN buffers still get DMA-API protection through
+            // the fallback scheme ("damn without iommu" pairs with the
+            // passthrough fallback since the IOMMU is off entirely).
+            auto fb = p.damnCache.mapInIommu
+                ? dma::makeScheme(p.damnFallback, ctx, mmu, pageAlloc)
+                : dma::makeScheme(dma::SchemeKind::IommuOff, ctx, mmu,
+                                  pageAlloc);
+            dmaApi = std::make_unique<core::DamnDmaApi>(ctx, *damn,
+                                                        std::move(fb));
+        } else {
+            dmaApi = dma::makeScheme(p.scheme, ctx, mmu, pageAlloc);
+        }
+        accessorStorage_ = std::make_unique<SkbAccessor>(
+            ctx, pageAlloc, heap, pageFrag, damn.get());
+    }
+
+    /** True when the scheme programs the IOMMU at all. */
+    static bool
+    schemeUsesIommu(const SystemParams &p)
+    {
+        if (p.scheme == dma::SchemeKind::IommuOff)
+            return false;
+        if (p.scheme == dma::SchemeKind::Damn)
+            return p.damnCache.mapInIommu;
+        return true;
+    }
+
+    bool damnMode() const { return damn != nullptr; }
+    SkbAccessor &accessor() { return *accessorStorage_; }
+
+    SystemParams params;
+    sim::Context ctx;
+    mem::PhysicalMemory phys;
+    mem::PageAllocator pageAlloc;
+    mem::KmallocHeap heap;
+    iommu::Iommu mmu;
+    mem::PageFragAllocator pageFrag;
+    std::unique_ptr<core::DamnAllocator> damn;  //!< damn scheme only
+    std::unique_ptr<dma::DmaApi> dmaApi;
+
+  private:
+    std::unique_ptr<SkbAccessor> accessorStorage_;
+};
+
+} // namespace damn::net
+
+#endif // DAMN_NET_SYSTEM_HH

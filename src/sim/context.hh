@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bundle of the simulation singletons one experiment run owns.
+ *
+ * Passed by reference throughout; there are no global singletons, so
+ * tests and benches can run many independent simulated machines in one
+ * process.
+ */
+
+#ifndef DAMN_SIM_CONTEXT_HH
+#define DAMN_SIM_CONTEXT_HH
+
+#include "sim/cost_model.hh"
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+#include "sim/mem_bw.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace damn::sim {
+
+/** Everything a simulated-machine experiment needs, in one object. */
+struct Context
+{
+    explicit Context(CostModel cm = {}, unsigned sockets = 2,
+                     unsigned cores_per_socket = 14)
+        : cost(cm),
+          machine(sockets, cores_per_socket),
+          memBw(cm.memBwGBps)
+    {}
+
+    Engine engine;
+    CostModel cost;
+    Machine machine;
+    MemBwServer memBw;
+    Stats stats;
+    Rng rng;
+
+    /**
+     * When true (default), all data paths move real bytes through the
+     * simulated physical memory, so tests can assert byte-exact
+     * outcomes.  Throughput benches set this to false: timing and
+     * translation behaviour are identical, but large payload memcpys
+     * on the host are skipped.
+     */
+    bool functionalData = true;
+
+    TimeNs now() const { return engine.now(); }
+
+    /**
+     * CPU time of a copy of @p bytes at @p bytes_per_ns, including the
+     * memory-controller contention stall: copies slow down once the
+     * controllers run past ~80% utilization (processor-sharing
+     * approximation; CPU copies do not queue FIFO behind device DMA).
+     * Also books the copy's controller occupancy (@p mem_bytes).
+     */
+    TimeNs
+    copyCost(TimeNs at, std::uint64_t bytes, double bytes_per_ns,
+             std::uint64_t mem_bytes)
+    {
+        const double mult = memStallFactor(memBw.utilization(at));
+        memBw.occupy(at, mem_bytes);
+        return cost.copyCallNs +
+            TimeNs(double(bytes) / bytes_per_ns * mult);
+    }
+
+    /** Reset all measurement windows (busy time, bytes, counters). */
+    void
+    resetAccounting()
+    {
+        machine.resetAccounting();
+        memBw.resetAccounting();
+        stats.clear();
+    }
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_CONTEXT_HH

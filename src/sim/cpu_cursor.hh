@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cursor tying a sequence of kernel operations to a core in virtual time.
+ *
+ * Kernel code paths in the simulation are plain C++ functions; they
+ * receive a CpuCursor identifying *which simulated core* executes them
+ * and *when*.  Each charge() advances the cursor and books busy time on
+ * the core.
+ */
+
+#ifndef DAMN_SIM_CPU_CURSOR_HH
+#define DAMN_SIM_CPU_CURSOR_HH
+
+#include "sim/machine.hh"
+#include "sim/types.hh"
+
+namespace damn::sim {
+
+/** A (core, time) execution point for charging kernel work. */
+struct CpuCursor
+{
+    CpuCursor(Core &c, TimeNs t) : core(&c), time(t) {}
+
+    Core *core;
+    TimeNs time;
+
+    /** Execute @p dur ns of work on this core; advances the cursor. */
+    void
+    charge(TimeNs dur)
+    {
+        time = core->charge(time, dur);
+    }
+
+    /**
+     * Wait (without burning CPU) until @p until, e.g. for an async
+     * completion.  No busy time is charged.
+     */
+    void
+    waitUntil(TimeNs until)
+    {
+        if (until > time)
+            time = until;
+    }
+
+    CoreId id() const { return core->id(); }
+    NumaId numa() const { return core->numa(); }
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_CPU_CURSOR_HH

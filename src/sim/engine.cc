@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Engine event loop implementation.
+ */
+
+#include "sim/engine.hh"
+
+namespace damn::sim {
+
+std::uint64_t
+Engine::run(TimeNs until)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        if (queue_.top().when > until)
+            break;
+        // Moving out of a priority_queue requires const_cast; the element
+        // is popped immediately afterwards so the heap order is unharmed.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        auto it = cancelled_.find(ev.id);
+        if (it != cancelled_.end()) {
+            // cancel() already dropped this event from the live count.
+            cancelled_.erase(it);
+            continue;
+        }
+        --live_;
+        now_ = ev.when;
+        ++dispatched_;
+        ++n;
+        ev.cb();
+    }
+    return n;
+}
+
+} // namespace damn::sim

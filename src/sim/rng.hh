@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic xorshift64* random number generator.
+ *
+ * Workloads use this instead of std::mt19937 for speed and bit-exact
+ * reproducibility across standard libraries.
+ */
+
+#ifndef DAMN_SIM_RNG_HH
+#define DAMN_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace damn::sim {
+
+/** xorshift64* PRNG; passes BigCrush for our purposes and is tiny. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_RNG_HH

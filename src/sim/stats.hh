@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Modules register counters by name; benches and tests read them out.
+ * Deliberately simple: a stats object is plumbed explicitly (no
+ * globals), keeping experiments independent and deterministic.
+ */
+
+#ifndef DAMN_SIM_STATS_HH
+#define DAMN_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace damn::sim {
+
+/** Map of named 64-bit counters with accumulate semantics. */
+class Stats
+{
+  public:
+    /** Add @p delta to counter @p name (creates it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Track a maximum. */
+    void
+    max(const std::string &name, std::uint64_t value)
+    {
+        auto &c = counters_[name];
+        if (value > c)
+            c = value;
+    }
+
+    /** Read counter @p name (0 if absent). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_STATS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * fio NVMe workload (paper section 6.5 / figure 11).
+ *
+ * 12 fio jobs perform asynchronous direct sequential reads (O_DIRECT,
+ * so the page cache is bypassed and every read is a device DMA into a
+ * freshly mapped buffer).  Sweeps the block size; the NVMe device's
+ * IOPS / bandwidth ceilings bind everywhere, so the question is only
+ * how much CPU each protection scheme burns per IO.
+ */
+
+#ifndef DAMN_WORK_FIO_HH
+#define DAMN_WORK_FIO_HH
+
+#include <memory>
+
+#include "net/system.hh"
+#include "nvme/nvme.hh"
+
+namespace damn::work {
+
+struct FioOpts
+{
+    dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    unsigned jobs = 12;
+    unsigned queueDepth = 32;
+    std::uint32_t blockBytes = 512;
+    sim::TimeNs warmupNs = 20 * sim::kNsPerMs;
+    sim::TimeNs measureNs = 150 * sim::kNsPerMs;
+};
+
+struct FioResult
+{
+    double kiops = 0.0;
+    double cpuPct = 0.0;     //!< machine-wide (24-core R430 server)
+    double throughputGBps = 0.0;
+};
+
+/** Run the figure-11 experiment for one scheme + block size. */
+FioResult runFio(const FioOpts &opts);
+
+} // namespace damn::work
+
+#endif // DAMN_WORK_FIO_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Graph500 BFS workload (paper sections 4.2, 6.4 / figure 2).
+ *
+ * Two pieces:
+ *  - a *real* CSR graph + BFS kernel (`Graph`, `bfs`) used by tests and
+ *    examples, faithful to the Graph500 reference: Kronecker-style
+ *    random edges, top-down level-synchronous BFS with a validation
+ *    pass;
+ *  - a DES co-runner (`BfsCorunner`) that reproduces the benchmark's
+ *    *resource footprint* on the simulated machine: each BFS iteration
+ *    streams the edge array through the memory controllers from a team
+ *    of cores, so its iteration time stretches when something else
+ *    (shadow buffers' extra copies) cannibalizes memory bandwidth.
+ */
+
+#ifndef DAMN_WORK_GRAPH500_HH
+#define DAMN_WORK_GRAPH500_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/context.hh"
+#include "sim/cpu_cursor.hh"
+#include "sim/rng.hh"
+
+namespace damn::work {
+
+/** Compressed-sparse-row undirected graph. */
+class Graph
+{
+  public:
+    /**
+     * Generate a random graph with 2^scale vertices and roughly
+     * edgefactor * 2^scale undirected edges (Graph500 terminology).
+     */
+    static Graph generate(unsigned scale, unsigned edgefactor,
+                          std::uint64_t seed);
+
+    std::uint64_t numVertices() const { return offsets_.size() - 1; }
+    std::uint64_t numEdges() const { return targets_.size(); }
+
+    /** Neighbors of @p v. */
+    const std::uint32_t *
+    neighborsBegin(std::uint32_t v) const
+    {
+        return targets_.data() + offsets_[v];
+    }
+    const std::uint32_t *
+    neighborsEnd(std::uint32_t v) const
+    {
+        return targets_.data() + offsets_[v + 1];
+    }
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return std::uint32_t(offsets_[v + 1] - offsets_[v]);
+    }
+
+  private:
+    std::vector<std::uint64_t> offsets_; //!< size V+1
+    std::vector<std::uint32_t> targets_;
+};
+
+/** BFS result: parent array (-1 == unreached). */
+struct BfsResult
+{
+    std::vector<std::int64_t> parent;
+    std::uint64_t verticesVisited = 0;
+    std::uint64_t edgesTraversed = 0;
+};
+
+/** Level-synchronous top-down BFS from @p root. */
+BfsResult bfs(const Graph &g, std::uint32_t root);
+
+/**
+ * Validate a BFS tree per the Graph500 rules: the root is its own
+ * parent, every tree edge exists in the graph, and levels differ by
+ * exactly one along tree edges.
+ */
+bool validateBfs(const Graph &g, std::uint32_t root, const BfsResult &r);
+
+/**
+ * The figure-2 co-runner: @p teams teams of @p cores_per_team cores
+ * each repeatedly run one BFS iteration whose edge traffic streams
+ * through the shared memory-bandwidth server.
+ */
+class BfsCorunner
+{
+  public:
+    struct Config
+    {
+        unsigned teams = 3;
+        unsigned coresPerTeam = 8;
+        /** First core id to use (netperf owns the lower ids). */
+        unsigned firstCore = 4;
+        /**
+         * Edge traffic per BFS iteration per team (2^20 vertices x
+         * degree 256 ~ 268M directed edges streamed with metadata).
+         */
+        std::uint64_t bytesPerIteration = 8ull << 30;
+        /** Uncontended per-core streaming bandwidth of the BFS kernel
+         *  (random-access bound), B/ns. */
+        double perCoreBytesPerNs = 1.8;
+        /** Compute overhead as a fraction of memory time. */
+        double computeFraction = 0.10;
+        /** Memory-traffic quantum per event, bytes. */
+        std::uint64_t quantumBytes = 256 * 1024;
+    };
+
+    BfsCorunner(sim::Context &ctx, Config cfg);
+
+    /** Start all teams iterating (runs until the engine stops). */
+    void start();
+
+    /** Mean seconds per BFS iteration, from the fractional progress
+     *  made between resetWindow() and @p now. */
+    double meanIterationSeconds(sim::TimeNs now) const;
+
+    void
+    resetWindow(sim::TimeNs now)
+    {
+        windowStart_ = now;
+        processedBytes_ = 0;
+    }
+
+  private:
+    void runQuantum(unsigned team, unsigned member);
+
+    sim::Context &ctx_;
+    Config cfg_;
+    std::uint64_t processedBytes_ = 0;
+    sim::TimeNs windowStart_ = 0;
+};
+
+} // namespace damn::work
+
+#endif // DAMN_WORK_GRAPH500_HH

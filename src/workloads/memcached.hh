@@ -1,0 +1,49 @@
+/**
+ * @file
+ * memcached + memslap workload (paper section 6.1 / figure 7).
+ *
+ * 28 single-threaded memcached instances (one per core) serve a
+ * 50%/50% GET/SET mix of 512 KiB keys+values driven by memslap clients
+ * on the traffic-generator machines.  A SET moves 512 KiB *into* the
+ * server (RX-heavy); a GET moves 512 KiB *out* (TX-heavy); each op
+ * additionally costs hashing + slab bookkeeping CPU.
+ */
+
+#ifndef DAMN_WORK_MEMCACHED_HH
+#define DAMN_WORK_MEMCACHED_HH
+
+#include "workloads/netperf.hh"
+
+namespace damn::work {
+
+struct MemcachedOpts
+{
+    dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    unsigned instances = 28;
+    std::uint32_t valueBytes = 512 * 1024;
+    /** Socket-write flush granularity of the server's event loop (no
+     *  full TSO aggregation on push-style writes). */
+    std::uint32_t segBytes = 8 * 1024;
+    /** memcached-side CPU per operation (parse, hash, slab churn for
+     *  512 KiB objects, syscalls), ns. */
+    sim::TimeNs opCpuNs = 100 * sim::kNsPerUs;
+    /** memslap-side turnaround between response and next request
+     *  (client parse + build + RTT), ns. */
+    sim::TimeNs clientTurnaroundNs = 700 * sim::kNsPerUs;
+    sim::TimeNs warmupNs = 30 * sim::kNsPerMs;
+    sim::TimeNs measureNs = 200 * sim::kNsPerMs;
+};
+
+struct MemcachedResult
+{
+    double tps = 0.0;       //!< memcached operations per second
+    double cpuPct = 0.0;    //!< machine-wide
+    double gbps = 0.0;      //!< network throughput moved
+};
+
+/** Run the figure-7 experiment for one scheme. */
+MemcachedResult runMemcached(const MemcachedOpts &opts);
+
+} // namespace damn::work
+
+#endif // DAMN_WORK_MEMCACHED_HH

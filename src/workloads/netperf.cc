@@ -1,0 +1,108 @@
+/**
+ * @file
+ * netperf runner implementation.
+ */
+
+#include "workloads/netperf.hh"
+
+namespace damn::work {
+
+NetperfRun
+makeNetperfSystem(const NetperfOpts &opts)
+{
+    NetperfRun run;
+    net::SystemParams p = opts.sysParams;
+    p.scheme = opts.scheme;
+    run.sys = std::make_unique<net::System>(p);
+    // Throughput experiments skip payload byte movement (timing and
+    // translation behaviour are unchanged; see Context::functionalData).
+    run.sys->ctx.functionalData = false;
+    run.nic = std::make_unique<net::NicDevice>(*run.sys, "mlx5_0");
+    run.stack = std::make_unique<net::TcpStack>(*run.sys, *run.nic);
+    return run;
+}
+
+void
+addNetperfFlows(NetperfRun &run, net::StreamEngine &eng,
+                const NetperfOpts &opts)
+{
+    const unsigned ncores = run.sys->ctx.machine.numCores();
+    for (unsigned i = 0; i < opts.instances; ++i) {
+        net::FlowSpec f;
+        if (opts.mode == NetMode::Rx) {
+            f.kind = net::Traffic::Rx;
+        } else if (opts.mode == NetMode::Tx) {
+            f.kind = net::Traffic::Tx;
+        } else {
+            f.kind = i % 2 == 0 ? net::Traffic::Rx : net::Traffic::Tx;
+        }
+        if (opts.singleCore) {
+            f.core = 0;
+        } else if (opts.coreLimit > 0) {
+            f.core = i % opts.coreLimit;
+        } else {
+            f.core = i % ncores;
+        }
+        f.port = i % 2;
+        f.segBytes = opts.segBytes;
+        f.window = opts.window;
+        eng.addFlow(f);
+    }
+}
+
+NetperfRun
+runNetperf(const NetperfOpts &opts,
+           const std::function<void(NetperfRun &)> &customize)
+{
+    NetperfRun run = makeNetperfSystem(opts);
+    if (customize)
+        customize(run);
+
+    net::StreamConfig sc;
+    sc.warmupNs = opts.warmupNs;
+    sc.measureNs = opts.measureNs;
+    sc.costFactor = opts.costFactor;
+    net::StreamEngine eng(*run.sys, *run.nic, *run.stack, sc);
+    addNetperfFlows(run, eng, opts);
+    run.res = eng.run();
+    return run;
+}
+
+NetperfOpts
+singleCoreOpts(dma::SchemeKind scheme, NetMode mode)
+{
+    NetperfOpts o;
+    o.scheme = scheme;
+    o.mode = mode;
+    o.instances = 4;
+    o.singleCore = true;
+    o.segBytes = 64 * 1024;
+    o.costFactor = 1.0;
+    return o;
+}
+
+NetperfOpts
+multiCoreOpts(dma::SchemeKind scheme, NetMode mode)
+{
+    NetperfOpts o;
+    o.scheme = scheme;
+    o.mode = mode;
+    o.instances = 28;
+    o.segBytes = 16 * 1024;
+    o.costFactor = o.sysParams.cost.multiFlowFactor;
+    return o;
+}
+
+NetperfOpts
+bidirectionalOpts(dma::SchemeKind scheme)
+{
+    NetperfOpts o;
+    o.scheme = scheme;
+    o.mode = NetMode::Bidi;
+    o.instances = 56; // 28 receiving + 28 transmitting, one pair/core
+    o.segBytes = 16 * 1024;
+    o.costFactor = o.sysParams.cost.multiFlowFactor;
+    return o;
+}
+
+} // namespace damn::work

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Randomized differential tests: the substrates checked against
+ * simple reference models over long random operation sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "iommu/iotlb.hh"
+#include "mem/kmalloc.hh"
+#include "sim/rng.hh"
+
+using namespace damn;
+
+// ---------------------------------------------------------------------
+// I/O page table vs a std::map reference
+// ---------------------------------------------------------------------
+
+TEST(FuzzPageTable, MatchesReferenceModel)
+{
+    iommu::IoPageTable pt;
+    std::map<iommu::Iova, std::pair<mem::Pa, std::uint32_t>> ref;
+    sim::Rng rng(101);
+
+    for (int step = 0; step < 20000; ++step) {
+        const iommu::Iova iova =
+            (rng.below(4096) << 12) | (rng.below(4) << 30);
+        const int op = int(rng.below(3));
+        if (op == 0) {
+            const mem::Pa pa = rng.below(1 << 20) << 12;
+            const auto perm = std::uint32_t(rng.between(1, 3));
+            const bool ok = pt.map(iova, pa, perm);
+            const bool ref_ok = ref.find(iova) == ref.end();
+            ASSERT_EQ(ok, ref_ok) << "step " << step;
+            if (ok)
+                ref[iova] = {pa, perm};
+        } else if (op == 1) {
+            const bool ok = pt.unmap(iova);
+            ASSERT_EQ(ok, ref.erase(iova) == 1) << "step " << step;
+        } else {
+            const iommu::WalkResult w =
+                pt.walk(iova | rng.below(4096));
+            const auto it = ref.find(iova);
+            ASSERT_EQ(w.present, it != ref.end()) << "step " << step;
+            if (w.present) {
+                ASSERT_EQ(w.pa & ~0xfffull, it->second.first);
+                ASSERT_EQ(w.perm, it->second.second);
+            }
+        }
+    }
+    ASSERT_EQ(pt.mapped4kEntries(), ref.size());
+}
+
+// ---------------------------------------------------------------------
+// Buddy allocator invariants under random alloc/free
+// ---------------------------------------------------------------------
+
+TEST(FuzzBuddy, NoOverlapNoLeak)
+{
+    mem::PhysicalMemory pm(256ull << 20);
+    mem::PageAllocator pa(pm, 2);
+    sim::Rng rng(77);
+    const std::uint64_t initial_free = pa.freeFrames();
+
+    struct Block
+    {
+        mem::Pfn pfn;
+        unsigned order;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 30000; ++step) {
+        if (live.size() < 300 && rng.chance(0.55)) {
+            const auto order = unsigned(rng.below(6));
+            const mem::Pfn pfn =
+                pa.allocPages(order, sim::NumaId(rng.below(2)));
+            if (pfn == mem::kInvalidPfn)
+                continue;
+            // No overlap with any live block.
+            for (const Block &b : live) {
+                const bool disjoint =
+                    pfn + (1ull << order) <= b.pfn ||
+                    b.pfn + (1ull << b.order) <= pfn;
+                ASSERT_TRUE(disjoint)
+                    << "overlap at step " << step << ": " << pfn << "/"
+                    << order << " vs " << b.pfn << "/" << b.order;
+            }
+            live.push_back({pfn, order});
+        } else if (!live.empty()) {
+            const auto idx = rng.below(live.size());
+            pa.freePages(live[idx].pfn, live[idx].order);
+            live.erase(live.begin() + long(idx));
+        }
+    }
+    for (const Block &b : live)
+        pa.freePages(b.pfn, b.order);
+    EXPECT_EQ(pa.freeFrames(), initial_free) << "frames leaked";
+    EXPECT_EQ(pa.allocatedFrames(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// kmalloc vs a reference multiset
+// ---------------------------------------------------------------------
+
+TEST(FuzzKmalloc, ContentIsolationAcrossObjects)
+{
+    mem::PhysicalMemory pm(128ull << 20);
+    mem::PageAllocator pa(pm, 1);
+    mem::KmallocHeap heap(pa);
+    sim::Rng rng(55);
+
+    // Every live object holds a distinct stamp; writes to one object
+    // must never bleed into another.
+    std::unordered_map<mem::Pa, std::pair<std::uint32_t, std::uint8_t>>
+        live; // pa -> (size, stamp)
+    std::uint8_t next_stamp = 1;
+
+    for (int step = 0; step < 20000; ++step) {
+        if (live.size() < 400 && rng.chance(0.55)) {
+            const auto size = std::uint32_t(rng.between(1, 4096));
+            const mem::Pa p = heap.kmalloc(size);
+            ASSERT_NE(p, 0u);
+            ASSERT_EQ(live.count(p), 0u) << "double allocation";
+            pm.fill(p, next_stamp, size);
+            live[p] = {size, next_stamp};
+            next_stamp = std::uint8_t(next_stamp == 255 ? 1
+                                                        : next_stamp + 1);
+        } else if (!live.empty()) {
+            auto it = live.begin();
+            std::advance(it, long(rng.below(live.size())));
+            // Verify the object is intact before freeing.
+            const auto [size, stamp] = it->second;
+            ASSERT_EQ(pm.readByte(it->first), stamp);
+            ASSERT_EQ(pm.readByte(it->first + size - 1), stamp);
+            heap.kfree(it->first);
+            live.erase(it);
+        }
+    }
+    for (const auto &[p, meta] : live) {
+        ASSERT_EQ(pm.readByte(p), meta.second);
+        heap.kfree(p);
+    }
+    EXPECT_EQ(heap.liveObjects(), 0u);
+    EXPECT_EQ(heap.allocatedBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// IOTLB never returns stale-after-invalidate translations
+// ---------------------------------------------------------------------
+
+TEST(FuzzIotlb, InvalidationIsComplete)
+{
+    iommu::Iotlb tlb(16, 2, 4, 2);
+    sim::Rng rng(31);
+    std::map<iommu::Iova, mem::Pa> truth;
+
+    for (int step = 0; step < 20000; ++step) {
+        const iommu::Iova page = rng.below(256) << 12;
+        const int op = int(rng.below(4));
+        if (op == 0) {
+            iommu::WalkResult w;
+            w.present = true;
+            w.pa = rng.below(1024) << 12;
+            w.perm = iommu::PermRW;
+            tlb.insert(0, page, w);
+            truth[page] = w.pa;
+        } else if (op == 1) {
+            tlb.invalidateRange(0, page, 4096);
+            truth.erase(page);
+        } else if (op == 2 && rng.chance(0.05)) {
+            tlb.invalidateDomain(0);
+            truth.clear();
+        } else {
+            const iommu::TlbEntry *e = tlb.lookup(0, page);
+            if (e != nullptr) {
+                // A hit must reflect a still-valid insertion.
+                auto it = truth.find(page);
+                ASSERT_NE(it, truth.end())
+                    << "stale IOTLB entry at step " << step;
+                ASSERT_EQ(e->paPage, it->second);
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: physical memory, buddy page
+ * allocator, kmalloc slab, page-frag allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/kmalloc.hh"
+#include "mem/page_frag.hh"
+#include "sim/context.hh"
+#include "sim/cpu_cursor.hh"
+
+using namespace damn;
+using namespace damn::mem;
+
+namespace {
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+struct MemFixture : ::testing::Test
+{
+    MemFixture() : pm(64 * kMiB), pa(pm, 2), heap(pa) {}
+
+    PhysicalMemory pm;
+    PageAllocator pa;
+    KmallocHeap heap;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// PhysicalMemory
+// ---------------------------------------------------------------------
+
+TEST(PhysicalMemory, ReadBackWhatWasWritten)
+{
+    PhysicalMemory pm(4 * kMiB);
+    const char msg[] = "damn: dma-aware malloc";
+    pm.write(0x1234, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    pm.read(0x1234, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(PhysicalMemory, CrossPageAccess)
+{
+    PhysicalMemory pm(4 * kMiB);
+    std::vector<std::uint8_t> data(3 * kPageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(i * 7);
+    const Pa base = 2 * kPageSize - 100; // straddles 3 frames
+    pm.write(base, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    pm.read(base, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(PhysicalMemory, UnwrittenReadsAsZero)
+{
+    PhysicalMemory pm(4 * kMiB);
+    std::uint8_t b = 0xff;
+    pm.read(123456, &b, 1);
+    EXPECT_EQ(b, 0);
+    // Reading must not back frames.
+    EXPECT_EQ(pm.backedFrames(), 0u);
+}
+
+TEST(PhysicalMemory, LazyBacking)
+{
+    PhysicalMemory pm(64 * kMiB);
+    EXPECT_EQ(pm.backedFrames(), 0u);
+    pm.writeByte(5 * kPageSize, 1);
+    pm.writeByte(9 * kPageSize, 1);
+    EXPECT_EQ(pm.backedFrames(), 2u);
+}
+
+TEST(PhysicalMemory, FillAndCopy)
+{
+    PhysicalMemory pm(4 * kMiB);
+    pm.fill(0x2000, 0x5a, 8192);
+    EXPECT_EQ(pm.readByte(0x2000), 0x5a);
+    EXPECT_EQ(pm.readByte(0x2000 + 8191), 0x5a);
+    pm.copy(0x10000, 0x2000, 8192);
+    EXPECT_EQ(pm.readByte(0x10000), 0x5a);
+    EXPECT_EQ(pm.readByte(0x10000 + 8191), 0x5a);
+}
+
+TEST(PhysicalMemory, PageStructLookup)
+{
+    PhysicalMemory pm(4 * kMiB);
+    Page &pg = pm.pageOf(3 * kPageSize + 17);
+    EXPECT_EQ(pm.pfnOf(pg), 3u);
+}
+
+TEST(PhysicalMemory, PaPfnConversions)
+{
+    EXPECT_EQ(paToPfn(0x5123), 5u);
+    EXPECT_EQ(pfnToPa(5), 5 * kPageSize);
+    EXPECT_EQ(pageOffset(0x5123), 0x123u);
+}
+
+TEST(PageStruct, FlagOps)
+{
+    Page p;
+    EXPECT_FALSE(p.test(PG_head));
+    p.set(PG_head);
+    p.set(PG_damn);
+    EXPECT_TRUE(p.test(PG_head));
+    EXPECT_TRUE(p.test(PG_damn));
+    p.clearFlag(PG_head);
+    EXPECT_FALSE(p.test(PG_head));
+    EXPECT_TRUE(p.test(PG_damn));
+}
+
+// ---------------------------------------------------------------------
+// PageAllocator (buddy)
+// ---------------------------------------------------------------------
+
+TEST_F(MemFixture, AllocReturnsAlignedBlocks)
+{
+    for (unsigned order = 0; order <= PageAllocator::kMaxOrder;
+         ++order) {
+        const Pfn pfn = pa.allocPages(order, 0);
+        ASSERT_NE(pfn, kInvalidPfn);
+        EXPECT_EQ(pfn % (1ull << order), 0u)
+            << "order " << order << " block misaligned";
+        pa.freePages(pfn, order);
+    }
+}
+
+TEST_F(MemFixture, FrameZeroIsReserved)
+{
+    // Many allocations never return pfn 0 (the null page).
+    for (int i = 0; i < 64; ++i) {
+        const Pfn pfn = pa.allocPages(0, 0);
+        EXPECT_NE(pfn, 0u);
+    }
+}
+
+TEST_F(MemFixture, DistinctBlocksDoNotOverlap)
+{
+    std::vector<Pfn> blocks;
+    for (int i = 0; i < 32; ++i)
+        blocks.push_back(pa.allocPages(2, 0));
+    std::sort(blocks.begin(), blocks.end());
+    for (std::size_t i = 1; i < blocks.size(); ++i)
+        EXPECT_GE(blocks[i], blocks[i - 1] + 4);
+    for (const Pfn b : blocks)
+        pa.freePages(b, 2);
+}
+
+TEST_F(MemFixture, FreeCoalescesBackToMaxOrder)
+{
+    const std::uint64_t before = pa.freeFrames();
+    std::vector<Pfn> ones;
+    for (int i = 0; i < 1024; ++i)
+        ones.push_back(pa.allocPages(0, 0));
+    for (const Pfn p : ones)
+        pa.freePages(p, 0);
+    EXPECT_EQ(pa.freeFrames(), before);
+    // After full coalescing a max-order block must be allocatable.
+    const Pfn big = pa.allocPages(PageAllocator::kMaxOrder, 0);
+    EXPECT_NE(big, kInvalidPfn);
+    pa.freePages(big, PageAllocator::kMaxOrder);
+}
+
+TEST_F(MemFixture, NumaPreferenceHonored)
+{
+    const Pfn p0 = pa.allocPages(0, 0);
+    const Pfn p1 = pa.allocPages(0, 1);
+    EXPECT_EQ(pa.nodeOf(p0), 0u);
+    EXPECT_EQ(pa.nodeOf(p1), 1u);
+    pa.freePages(p0, 0);
+    pa.freePages(p1, 0);
+}
+
+TEST_F(MemFixture, FallsBackToRemoteNode)
+{
+    // Exhaust node 0 entirely, then ask for node-0 memory.
+    std::vector<Pfn> hog;
+    while (pa.freeFramesInZone(0) > 0) {
+        const Pfn p = pa.allocPages(PageAllocator::kMaxOrder, 0);
+        if (pa.nodeOf(p) != 0) {
+            pa.freePages(p, PageAllocator::kMaxOrder);
+            break;
+        }
+        hog.push_back(p);
+    }
+    const Pfn p = pa.allocPages(0, 0);
+    ASSERT_NE(p, kInvalidPfn);
+    EXPECT_EQ(pa.nodeOf(p), 1u);
+    pa.freePages(p, 0);
+    for (const Pfn h : hog)
+        pa.freePages(h, PageAllocator::kMaxOrder);
+}
+
+TEST_F(MemFixture, ExhaustionReturnsInvalid)
+{
+    std::vector<Pfn> hog;
+    for (;;) {
+        const Pfn p = pa.allocPages(PageAllocator::kMaxOrder, 0);
+        if (p == kInvalidPfn)
+            break;
+        hog.push_back(p);
+    }
+    // Smaller blocks may still exist (the reserved split), but after
+    // draining order-0 too the allocator must fail cleanly.
+    for (;;) {
+        const Pfn p = pa.allocPages(0, 0);
+        if (p == kInvalidPfn)
+            break;
+        hog.push_back(p); // order recorded below via page order
+    }
+    EXPECT_EQ(pa.allocPages(0, 0), kInvalidPfn);
+    EXPECT_EQ(pa.freeFrames(), 0u);
+    // Cleanup: we cannot distinguish orders here; rebuild fixture
+    // implicitly by leaking into the fixture-local allocator.
+}
+
+TEST_F(MemFixture, AllocatedFramesAccounting)
+{
+    const std::uint64_t base = pa.allocatedFrames();
+    const Pfn a = pa.allocPages(3, 0);
+    EXPECT_EQ(pa.allocatedFrames(), base + 8);
+    pa.freePages(a, 3);
+    EXPECT_EQ(pa.allocatedFrames(), base);
+}
+
+TEST_F(MemFixture, ZeroedAllocation)
+{
+    const Pfn dirty = pa.allocPages(0, 0);
+    pm.fill(pfnToPa(dirty), 0xdd, kPageSize);
+    pa.freePages(dirty, 0);
+    const Pfn clean = pa.allocPages(0, 0, /*zero=*/true);
+    EXPECT_EQ(clean, dirty); // buddy hands back the same block
+    EXPECT_EQ(pm.readByte(pfnToPa(clean)), 0);
+    EXPECT_EQ(pm.readByte(pfnToPa(clean) + kPageSize - 1), 0);
+    pa.freePages(clean, 0);
+}
+
+TEST_F(MemFixture, FreeClearsPageMetadata)
+{
+    const Pfn p = pa.allocPages(1, 0);
+    Page &pg = pm.page(p + 1);
+    pg.set(PG_damn);
+    pg.priv = 123;
+    pa.freePages(p, 1);
+    EXPECT_FALSE(pm.page(p + 1).test(PG_damn));
+    EXPECT_EQ(pm.page(p + 1).priv, 0u);
+}
+
+// ---------------------------------------------------------------------
+// KmallocHeap
+// ---------------------------------------------------------------------
+
+TEST_F(MemFixture, KmallocClassRounding)
+{
+    EXPECT_EQ(KmallocHeap::classFor(1), 0u);
+    EXPECT_EQ(KmallocHeap::classFor(8), 0u);
+    EXPECT_EQ(KmallocHeap::classFor(9), 1u);
+    EXPECT_EQ(KmallocHeap::classFor(4096), 9u);
+}
+
+TEST_F(MemFixture, KmallocAligned)
+{
+    for (int i = 0; i < 16; ++i) {
+        const Pa p = heap.kmalloc(24);
+        EXPECT_EQ(p % 8, 0u);
+    }
+}
+
+TEST_F(MemFixture, KmallocCoLocatesOnOnePage)
+{
+    // The property the paper's partial-protection critique rests on:
+    // unrelated same-class objects share a physical page.
+    const Pa a = heap.kmalloc(256);
+    const Pa b = heap.kmalloc(256);
+    EXPECT_EQ(paToPfn(a), paToPfn(b));
+    EXPECT_EQ(b, a + 256); // adjacent, ascending
+    heap.kfree(a);
+    heap.kfree(b);
+}
+
+TEST_F(MemFixture, KfreeLifoReuse)
+{
+    const Pa a = heap.kmalloc(512);
+    heap.kfree(a);
+    EXPECT_EQ(heap.kmalloc(512), a);
+}
+
+TEST_F(MemFixture, KmallocAccounting)
+{
+    EXPECT_EQ(heap.allocatedBytes(), 0u);
+    const Pa a = heap.kmalloc(100); // class 128
+    EXPECT_EQ(heap.allocatedBytes(), 128u);
+    EXPECT_EQ(heap.liveObjects(), 1u);
+    heap.kfree(a);
+    EXPECT_EQ(heap.allocatedBytes(), 0u);
+    EXPECT_EQ(heap.liveObjects(), 0u);
+}
+
+TEST_F(MemFixture, KmallocSlabPageFlagged)
+{
+    const Pa a = heap.kmalloc(64);
+    EXPECT_TRUE(pm.pageOf(a).test(PG_slab));
+    EXPECT_EQ(pm.pageOf(a).slabClass, KmallocHeap::classFor(64));
+    heap.kfree(a);
+}
+
+TEST_F(MemFixture, KfreeNullIsNoop)
+{
+    heap.kfree(0);
+    EXPECT_EQ(heap.liveObjects(), 0u);
+}
+
+TEST_F(MemFixture, KmallocManyClassesIndependent)
+{
+    std::vector<Pa> ptrs;
+    for (const std::uint32_t sz : KmallocHeap::kClasses)
+        ptrs.push_back(heap.kmalloc(sz));
+    // All distinct and correctly typed.
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < ptrs.size(); ++j)
+            EXPECT_NE(ptrs[i], ptrs[j]);
+        EXPECT_EQ(pm.pageOf(ptrs[i]).slabClass, i);
+    }
+    for (const Pa p : ptrs)
+        heap.kfree(p);
+}
+
+TEST_F(MemFixture, KmallocFillsWholePageBeforeNewOne)
+{
+    std::vector<Pa> objs;
+    for (unsigned i = 0; i < kPageSize / 1024; ++i)
+        objs.push_back(heap.kmalloc(1024));
+    const Pfn first = paToPfn(objs[0]);
+    for (const Pa p : objs)
+        EXPECT_EQ(paToPfn(p), first);
+    objs.push_back(heap.kmalloc(1024));
+    EXPECT_NE(paToPfn(objs.back()), first);
+    for (const Pa p : objs)
+        heap.kfree(p);
+}
+
+// ---------------------------------------------------------------------
+// PageFragAllocator
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct FragFixture : ::testing::Test
+{
+    FragFixture()
+        : ctx(sim::CostModel{}, 1, 2),
+          pm(64 * kMiB),
+          pa(pm, 1),
+          frag(ctx, pa)
+    {}
+
+    sim::Context ctx;
+    PhysicalMemory pm;
+    PageAllocator pa;
+    PageFragAllocator frag;
+};
+
+} // namespace
+
+TEST_F(FragFixture, CarvesWithinOneBlock)
+{
+    sim::CpuCursor cpu(ctx.machine.core(0), 0);
+    const Pa a = frag.alloc(cpu, 1000);
+    const Pa b = frag.alloc(cpu, 1000);
+    EXPECT_EQ(b, a + 1000);
+}
+
+TEST_F(FragFixture, BlockFreedWhenLastFragDropped)
+{
+    sim::CpuCursor cpu(ctx.machine.core(0), 0);
+    const std::uint64_t base = pa.allocatedFrames();
+    const Pa a = frag.alloc(cpu, 16384);
+    const Pa b = frag.alloc(cpu, 16384);
+    EXPECT_GT(pa.allocatedFrames(), base);
+    frag.free(cpu, a);
+    frag.free(cpu, b);
+    // Block is still biased by the allocator (current bump block).
+    // Exhaust it to trigger retirement.
+    std::vector<Pa> more;
+    for (int i = 0; i < 64; ++i)
+        more.push_back(frag.alloc(cpu, 16384));
+    for (const Pa p : more)
+        frag.free(cpu, p);
+    EXPECT_LE(pa.allocatedFrames(),
+              base + (1ull << PageFragAllocator::kBlockOrder));
+}
+
+TEST_F(FragFixture, PerCoreIsolation)
+{
+    sim::CpuCursor c0(ctx.machine.core(0), 0);
+    sim::CpuCursor c1(ctx.machine.core(1), 0);
+    const Pa a = frag.alloc(c0, 4096);
+    const Pa b = frag.alloc(c1, 4096);
+    // Different cores carve from different blocks.
+    EXPECT_NE(paToPfn(a) >> PageFragAllocator::kBlockOrder,
+              paToPfn(b) >> PageFragAllocator::kBlockOrder);
+    frag.free(c0, a);
+    frag.free(c1, b);
+}

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: engine, machine, locks,
+ * bandwidth server, RNG, cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/context.hh"
+#include "sim/cpu_cursor.hh"
+#include "sim/sim_mutex.hh"
+
+using namespace damn::sim;
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+TEST(Engine, StartsAtZero)
+{
+    Engine e;
+    EXPECT_EQ(e.now(), 0u);
+    EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, DispatchesInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&] { order.push_back(3); });
+    e.schedule(10, [&] { order.push_back(1); });
+    e.schedule(20, [&] { order.push_back(2); });
+    e.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeIsFifo)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        e.schedule(5, [&order, i] { order.push_back(i); });
+    e.runAll();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NowAdvancesToEventTime)
+{
+    Engine e;
+    TimeNs seen = 0;
+    e.schedule(1234, [&] { seen = e.now(); });
+    e.runAll();
+    EXPECT_EQ(seen, 1234u);
+    EXPECT_EQ(e.now(), 1234u);
+}
+
+TEST(Engine, RunStopsAtLimit)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(100, [&] { ++fired; });
+    e.schedule(200, [&] { ++fired; });
+    e.run(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.pending(), 1u);
+    e.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventAtExactLimitFires)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(150, [&] { ++fired; });
+    e.run(150);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, PastSchedulingClampsToNow)
+{
+    Engine e;
+    TimeNs when = ~TimeNs{0};
+    e.schedule(100, [&] {
+        e.schedule(50, [&] { when = e.now(); }); // in the past
+    });
+    e.runAll();
+    EXPECT_EQ(when, 100u);
+}
+
+TEST(Engine, CancelPreventsDispatch)
+{
+    Engine e;
+    int fired = 0;
+    const auto id = e.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(e.cancel(id));
+    EXPECT_EQ(e.pending(), 0u);
+    e.runAll();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, DoubleCancelReturnsFalse)
+{
+    Engine e;
+    const auto id = e.schedule(10, [] {});
+    EXPECT_TRUE(e.cancel(id));
+    EXPECT_FALSE(e.cancel(id));
+    e.runAll();
+}
+
+TEST(Engine, ScheduleInIsRelative)
+{
+    Engine e;
+    TimeNs seen = 0;
+    e.schedule(100, [&] {
+        e.scheduleIn(50, [&] { seen = e.now(); });
+    });
+    e.runAll();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(Engine, SelfPerpetuatingChainStopsAtLimit)
+{
+    Engine e;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&] {
+        ++count;
+        e.scheduleIn(10, tick);
+    };
+    e.schedule(0, tick);
+    e.run(1000);
+    EXPECT_EQ(count, 101u); // t = 0, 10, ..., 1000
+}
+
+TEST(Engine, DispatchedCounts)
+{
+    Engine e;
+    for (int i = 0; i < 5; ++i)
+        e.schedule(TimeNs(i), [] {});
+    e.runAll();
+    EXPECT_EQ(e.dispatched(), 5u);
+}
+
+// ---------------------------------------------------------------------
+// Core / Machine
+// ---------------------------------------------------------------------
+
+TEST(Core, ChargeAccumulatesBusyTime)
+{
+    Core c(0, 0);
+    EXPECT_EQ(c.charge(0, 100), 100u);
+    EXPECT_EQ(c.busyNs(), 100u);
+    EXPECT_EQ(c.charge(100, 50), 150u);
+    EXPECT_EQ(c.busyNs(), 150u);
+}
+
+TEST(Core, ChargeSerializesWork)
+{
+    Core c(0, 0);
+    c.charge(0, 100);
+    // New work "arriving" at t=20 must wait until t=100.
+    EXPECT_EQ(c.charge(20, 30), 130u);
+}
+
+TEST(Core, ChargeAfterIdleGap)
+{
+    Core c(0, 0);
+    c.charge(0, 100);
+    EXPECT_EQ(c.charge(500, 10), 510u);
+    EXPECT_EQ(c.busyNs(), 110u); // the idle gap is not busy
+}
+
+TEST(Core, OccupyBooksFraction)
+{
+    Core c(0, 0);
+    c.occupy(0, 1000, 0.25);
+    EXPECT_EQ(c.busyNs(), 250u);
+    EXPECT_EQ(c.freeAt(), 1000u);
+}
+
+TEST(Core, ResetAccountingClearsBusyNotFreeAt)
+{
+    Core c(0, 0);
+    c.charge(0, 100);
+    c.resetAccounting();
+    EXPECT_EQ(c.busyNs(), 0u);
+    EXPECT_EQ(c.freeAt(), 100u);
+}
+
+TEST(Machine, TopologyInterleavesSockets)
+{
+    Machine m(2, 14);
+    EXPECT_EQ(m.numCores(), 28u);
+    EXPECT_EQ(m.numaOf(0), 0u);
+    EXPECT_EQ(m.numaOf(1), 1u);
+    EXPECT_EQ(m.numaOf(2), 0u);
+    EXPECT_EQ(m.numaOf(27), 1u);
+}
+
+TEST(Machine, UtilizationConvention)
+{
+    // Paper convention: one fully busy core out of 28 = 3.57%.
+    Machine m(2, 14);
+    m.core(0).charge(0, 1000);
+    EXPECT_NEAR(m.utilizationPct(1000), 100.0 / 28, 0.01);
+    EXPECT_NEAR(m.coreUtilizationPct(0, 1000), 100.0, 0.01);
+}
+
+TEST(Machine, TotalBusySums)
+{
+    Machine m(1, 4);
+    m.core(0).charge(0, 100);
+    m.core(3).charge(0, 200);
+    EXPECT_EQ(m.totalBusyNs(), 300u);
+}
+
+// ---------------------------------------------------------------------
+// SimMutex / SerialResource
+// ---------------------------------------------------------------------
+
+TEST(SimMutex, UncontendedAcquireCostsHoldOnly)
+{
+    Core c(0, 0);
+    SimMutex m;
+    EXPECT_EQ(m.acquireAndHold(c, 100, 50), 150u);
+    EXPECT_EQ(m.totalSpinNs(), 0u);
+    EXPECT_EQ(c.busyNs(), 50u);
+}
+
+TEST(SimMutex, ContendedAcquireSpins)
+{
+    Core a(0, 0), b(1, 0);
+    SimMutex m;
+    m.acquireAndHold(a, 0, 100);
+    EXPECT_EQ(m.acquireAndHold(b, 30, 10), 110u);
+    EXPECT_EQ(m.totalSpinNs(), 70u);
+    EXPECT_EQ(b.busyNs(), 80u); // 70 spin + 10 hold
+}
+
+TEST(SimMutex, PartialSpinBusyFraction)
+{
+    Core a(0, 0), b(1, 0);
+    SimMutex m;
+    m.acquireAndHold(a, 0, 100);
+    m.acquireAndHold(b, 0, 100, 0.5);
+    // b spun 100 (50 busy) then held 100 (fully busy).
+    EXPECT_EQ(b.busyNs(), 150u);
+    EXPECT_EQ(b.freeAt(), 200u);
+}
+
+TEST(SimMutex, SerializesManyAcquirers)
+{
+    Machine mach(1, 8);
+    SimMutex m;
+    TimeNs last = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        last = m.acquireAndHold(mach.core(i), 0, 100);
+    EXPECT_EQ(last, 800u);
+    EXPECT_EQ(m.acquisitions(), 8u);
+    EXPECT_EQ(m.maxSpinNs(), 700u);
+}
+
+TEST(SerialResource, FifoService)
+{
+    SerialResource r;
+    EXPECT_EQ(r.submit(0, 100), 100u);
+    EXPECT_EQ(r.submit(0, 100), 200u);
+    EXPECT_EQ(r.submit(500, 100), 600u); // idle gap
+    EXPECT_EQ(r.busyNs(), 300u);
+    EXPECT_EQ(r.requests(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// MemBwServer
+// ---------------------------------------------------------------------
+
+TEST(MemBw, TransferPacesAtCapacity)
+{
+    MemBwServer bw(10.0); // 10 B/ns
+    EXPECT_EQ(bw.transfer(0, 1000), 100u);
+    EXPECT_EQ(bw.transfer(0, 1000), 200u); // queues behind the first
+    EXPECT_EQ(bw.totalBytes(), 2000u);
+}
+
+TEST(MemBw, IdleGapResets)
+{
+    MemBwServer bw(10.0);
+    bw.transfer(0, 1000);
+    EXPECT_EQ(bw.transfer(1000, 100), 1010u);
+}
+
+TEST(MemBw, AchievedBandwidth)
+{
+    MemBwServer bw(10.0);
+    bw.transfer(0, 5000);
+    EXPECT_DOUBLE_EQ(bw.achievedGBps(1000), 5.0);
+    bw.resetAccounting();
+    EXPECT_EQ(bw.totalBytes(), 0u);
+}
+
+TEST(MemBw, UtilizationTracksSustainedLoad)
+{
+    MemBwServer bw(10.0);
+    // Inject 50% load over 1 ms: 500 B every 100 ns costs 50 ns.
+    for (TimeNs t = 0; t < 1'000'000; t += 100)
+        bw.occupy(t, 500);
+    const double rho = bw.utilization(1'000'000);
+    EXPECT_NEAR(rho, 0.5, 0.05);
+}
+
+TEST(MemBw, UtilizationDropsWhenLoadStops)
+{
+    MemBwServer bw(10.0);
+    for (TimeNs t = 0; t < 500'000; t += 100)
+        bw.occupy(t, 1000);
+    // 400 us later the window has rolled past the load entirely.
+    EXPECT_NEAR(bw.utilization(900'000), 0.0, 0.01);
+}
+
+TEST(MemBw, StallFactorShape)
+{
+    EXPECT_DOUBLE_EQ(memStallFactor(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(memStallFactor(0.8), 1.0);
+    EXPECT_NEAR(memStallFactor(0.9), 2.0, 1e-9);
+    EXPECT_LE(memStallFactor(1.5), 5.0);
+    // Monotone.
+    double prev = 0.0;
+    for (double r = 0.0; r < 1.2; r += 0.01) {
+        EXPECT_GE(memStallFactor(r), prev);
+        prev = memStallFactor(r);
+    }
+}
+
+TEST(MemBw, OutOfOrderTimestampsTolerated)
+{
+    MemBwServer bw(10.0);
+    bw.occupy(500'000, 1000);
+    bw.occupy(100'000, 1000); // late-arriving injection
+    EXPECT_GE(bw.utilization(550'000), 0.0);
+    EXPECT_EQ(bw.totalBytes(), 2000u);
+}
+
+// ---------------------------------------------------------------------
+// Context / CpuCursor / CostModel / Rng
+// ---------------------------------------------------------------------
+
+TEST(CpuCursor, ChargeAdvancesCursorAndCore)
+{
+    Machine m(1, 1);
+    CpuCursor cpu(m.core(0), 100);
+    cpu.charge(50);
+    EXPECT_EQ(cpu.time, 150u);
+    EXPECT_EQ(m.core(0).busyNs(), 50u);
+}
+
+TEST(CpuCursor, WaitUntilDoesNotBurnCpu)
+{
+    Machine m(1, 1);
+    CpuCursor cpu(m.core(0), 100);
+    cpu.waitUntil(500);
+    EXPECT_EQ(cpu.time, 500u);
+    EXPECT_EQ(m.core(0).busyNs(), 0u);
+    cpu.waitUntil(200); // never goes backwards
+    EXPECT_EQ(cpu.time, 500u);
+}
+
+TEST(Context, CopyCostNoStallWhenIdle)
+{
+    Context ctx;
+    const TimeNs t = ctx.copyCost(0, 1100, 11.0, 2200);
+    EXPECT_EQ(t, ctx.cost.copyCallNs + 100);
+}
+
+TEST(Context, CopyCostStallsUnderLoad)
+{
+    Context ctx;
+    // Saturate the controllers for a window.
+    for (TimeNs t = 0; t < 400'000; t += 100)
+        ctx.memBw.occupy(t, 10'000);
+    const TimeNs stalled = ctx.copyCost(400'000, 11'000, 11.0, 0);
+    EXPECT_GT(stalled, ctx.cost.copyCallNs + 1000);
+}
+
+TEST(CostModel, CyclesToNs)
+{
+    CostModel cm;
+    cm.cpuGhz = 2.0;
+    EXPECT_EQ(cm.cyclesToNs(2000), 1000u);
+}
+
+TEST(CostModel, CopyHelpers)
+{
+    CostModel cm;
+    EXPECT_EQ(cm.warmCopyNs(1100),
+              cm.copyCallNs + TimeNs(1100 / cm.warmCopyBytesPerNs));
+    EXPECT_GT(cm.coldCopyNs(4096), cm.warmCopyNs(4096));
+}
+
+TEST(Types, UnitConversions)
+{
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerNs(8.0), 1.0);
+    EXPECT_DOUBLE_EQ(bytesPerNsToGbps(1.0), 8.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(7);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 5;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, AddSetMaxGet)
+{
+    Stats s;
+    s.add("a");
+    s.add("a", 4);
+    EXPECT_EQ(s.get("a"), 5u);
+    s.set("b", 7);
+    EXPECT_EQ(s.get("b"), 7u);
+    s.max("c", 3);
+    s.max("c", 1);
+    EXPECT_EQ(s.get("c"), 3u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    EXPECT_TRUE(s.has("a"));
+    s.clear();
+    EXPECT_FALSE(s.has("a"));
+}
