@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nvme.dir/fig11_nvme.cc.o"
+  "CMakeFiles/fig11_nvme.dir/fig11_nvme.cc.o.d"
+  "fig11_nvme"
+  "fig11_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

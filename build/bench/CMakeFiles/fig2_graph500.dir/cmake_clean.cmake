@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_graph500.dir/fig2_graph500.cc.o"
+  "CMakeFiles/fig2_graph500.dir/fig2_graph500.cc.o.d"
+  "fig2_graph500"
+  "fig2_graph500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_graph500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

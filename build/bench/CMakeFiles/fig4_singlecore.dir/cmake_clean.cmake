@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_singlecore.dir/fig4_singlecore.cc.o"
+  "CMakeFiles/fig4_singlecore.dir/fig4_singlecore.cc.o.d"
+  "fig4_singlecore"
+  "fig4_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_multicore.cc" "bench/CMakeFiles/fig5_multicore.dir/fig5_multicore.cc.o" "gcc" "bench/CMakeFiles/fig5_multicore.dir/fig5_multicore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/damn_work.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/damn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/damn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/damn_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/damn_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/damn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/damn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

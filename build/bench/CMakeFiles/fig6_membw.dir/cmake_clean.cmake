@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_membw.dir/fig6_membw.cc.o"
+  "CMakeFiles/fig6_membw.dir/fig6_membw.cc.o.d"
+  "fig6_membw"
+  "fig6_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

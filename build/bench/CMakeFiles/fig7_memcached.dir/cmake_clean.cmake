@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memcached.dir/fig7_memcached.cc.o"
+  "CMakeFiles/fig7_memcached.dir/fig7_memcached.cc.o.d"
+  "fig7_memcached"
+  "fig7_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

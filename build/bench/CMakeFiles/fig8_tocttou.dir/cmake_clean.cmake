@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tocttou.dir/fig8_tocttou.cc.o"
+  "CMakeFiles/fig8_tocttou.dir/fig8_tocttou.cc.o.d"
+  "fig8_tocttou"
+  "fig8_tocttou.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tocttou.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_stock_pages.dir/fig9_stock_pages.cc.o"
+  "CMakeFiles/fig9_stock_pages.dir/fig9_stock_pages.cc.o.d"
+  "fig9_stock_pages"
+  "fig9_stock_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_stock_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

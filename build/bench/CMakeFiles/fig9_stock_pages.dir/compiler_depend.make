@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_stock_pages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_allocator.dir/micro_allocator.cc.o"
+  "CMakeFiles/micro_allocator.dir/micro_allocator.cc.o.d"
+  "micro_allocator"
+  "micro_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_variants.dir/table3_variants.cc.o"
+  "CMakeFiles/table3_variants.dir/table3_variants.cc.o.d"
+  "table3_variants"
+  "table3_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

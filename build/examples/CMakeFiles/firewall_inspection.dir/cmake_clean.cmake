@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_inspection.dir/firewall_inspection.cpp.o"
+  "CMakeFiles/firewall_inspection.dir/firewall_inspection.cpp.o.d"
+  "firewall_inspection"
+  "firewall_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_core.dir/damn_allocator.cc.o"
+  "CMakeFiles/damn_core.dir/damn_allocator.cc.o.d"
+  "CMakeFiles/damn_core.dir/dma_cache.cc.o"
+  "CMakeFiles/damn_core.dir/dma_cache.cc.o.d"
+  "libdamn_core.a"
+  "libdamn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_dma.dir/device.cc.o"
+  "CMakeFiles/damn_dma.dir/device.cc.o.d"
+  "CMakeFiles/damn_dma.dir/schemes.cc.o"
+  "CMakeFiles/damn_dma.dir/schemes.cc.o.d"
+  "libdamn_dma.a"
+  "libdamn_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_iommu.dir/io_pgtable.cc.o"
+  "CMakeFiles/damn_iommu.dir/io_pgtable.cc.o.d"
+  "CMakeFiles/damn_iommu.dir/iommu.cc.o"
+  "CMakeFiles/damn_iommu.dir/iommu.cc.o.d"
+  "CMakeFiles/damn_iommu.dir/iotlb.cc.o"
+  "CMakeFiles/damn_iommu.dir/iotlb.cc.o.d"
+  "libdamn_iommu.a"
+  "libdamn_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_mem.dir/kmalloc.cc.o"
+  "CMakeFiles/damn_mem.dir/kmalloc.cc.o.d"
+  "CMakeFiles/damn_mem.dir/page_alloc.cc.o"
+  "CMakeFiles/damn_mem.dir/page_alloc.cc.o.d"
+  "CMakeFiles/damn_mem.dir/phys.cc.o"
+  "CMakeFiles/damn_mem.dir/phys.cc.o.d"
+  "libdamn_mem.a"
+  "libdamn_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

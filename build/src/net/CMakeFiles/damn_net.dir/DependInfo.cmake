@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/damn_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/damn_net.dir/nic.cc.o.d"
+  "/root/repo/src/net/skbuff.cc" "src/net/CMakeFiles/damn_net.dir/skbuff.cc.o" "gcc" "src/net/CMakeFiles/damn_net.dir/skbuff.cc.o.d"
+  "/root/repo/src/net/stack.cc" "src/net/CMakeFiles/damn_net.dir/stack.cc.o" "gcc" "src/net/CMakeFiles/damn_net.dir/stack.cc.o.d"
+  "/root/repo/src/net/stream.cc" "src/net/CMakeFiles/damn_net.dir/stream.cc.o" "gcc" "src/net/CMakeFiles/damn_net.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/damn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/damn_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/damn_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/damn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/damn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

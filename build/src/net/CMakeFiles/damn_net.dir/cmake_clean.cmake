@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_net.dir/nic.cc.o"
+  "CMakeFiles/damn_net.dir/nic.cc.o.d"
+  "CMakeFiles/damn_net.dir/skbuff.cc.o"
+  "CMakeFiles/damn_net.dir/skbuff.cc.o.d"
+  "CMakeFiles/damn_net.dir/stack.cc.o"
+  "CMakeFiles/damn_net.dir/stack.cc.o.d"
+  "CMakeFiles/damn_net.dir/stream.cc.o"
+  "CMakeFiles/damn_net.dir/stream.cc.o.d"
+  "libdamn_net.a"
+  "libdamn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_sim.dir/engine.cc.o"
+  "CMakeFiles/damn_sim.dir/engine.cc.o.d"
+  "libdamn_sim.a"
+  "libdamn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

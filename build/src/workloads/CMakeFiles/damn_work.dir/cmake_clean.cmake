@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damn_work.dir/attacks.cc.o"
+  "CMakeFiles/damn_work.dir/attacks.cc.o.d"
+  "CMakeFiles/damn_work.dir/fio.cc.o"
+  "CMakeFiles/damn_work.dir/fio.cc.o.d"
+  "CMakeFiles/damn_work.dir/graph500.cc.o"
+  "CMakeFiles/damn_work.dir/graph500.cc.o.d"
+  "CMakeFiles/damn_work.dir/memcached.cc.o"
+  "CMakeFiles/damn_work.dir/memcached.cc.o.d"
+  "CMakeFiles/damn_work.dir/netperf.cc.o"
+  "CMakeFiles/damn_work.dir/netperf.cc.o.d"
+  "libdamn_work.a"
+  "libdamn_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damn_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

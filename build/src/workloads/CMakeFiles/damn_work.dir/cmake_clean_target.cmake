@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdamn_work.a"
+)
