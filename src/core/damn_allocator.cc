@@ -199,10 +199,12 @@ DamnAllocator::shrink(sim::CpuCursor &cpu)
     for (auto &cache : caches_)
         chunks += cache->shrink(cpu);
     if (chunks > 0) {
-        // One batched IOTLB flush covers every released mapping; the
-        // freed pages may be handed out by the OS only after this.
-        cpu.time = iommu_.invalQueue().batchedFlush(*cpu.core, cpu.time,
-                                                    iommu_.iotlb());
+        // One *global* batched IOTLB flush covers every released
+        // mapping — the shrinker returns chunks from all device caches
+        // at once, so a single global command beats per-domain ones;
+        // the freed pages may be handed out by the OS only after this.
+        cpu.time = iommu_.invalQueue().batchedFlushAll(
+            *cpu.core, cpu.time, iommu_.iotlb());
     }
     return chunks * config_.cache.chunkBytes();
 }

@@ -5,6 +5,7 @@
 
 #include "dma/schemes.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace damn::dma {
@@ -149,7 +150,7 @@ DeferredDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
     // flush (reusing it earlier would re-expose a stale translation to
     // the *new* owner's data).
     cpu.charge(ctx_.cost.deferredUnmapNs);
-    flushQueue_.push_back({iova_base, pages});
+    flushQueue_.push_back({dev.domain(), iova_base, pages});
 
     if (flushQueue_.size() >= ctx_.cost.deferredBatch) {
         flushPending(cpu);
@@ -163,8 +164,17 @@ DeferredDmaApi::flushPending(sim::CpuCursor &cpu)
 {
     if (flushQueue_.empty())
         return;
+    // One hardware flush command, scoped to the domains with pending
+    // unmaps: other domains' warm IOTLB entries must survive a
+    // neighbour's deferred flush.
+    std::vector<iommu::DomainId> domains;
+    for (const PendingUnmap &p : flushQueue_) {
+        if (std::find(domains.begin(), domains.end(), p.domain) ==
+            domains.end())
+            domains.push_back(p.domain);
+    }
     const sim::TimeNs done = iommu_.invalQueue().batchedFlush(
-        *cpu.core, cpu.time, iommu_.iotlb());
+        *cpu.core, cpu.time, iommu_.iotlb(), domains);
     cpu.waitUntil(done);
     for (const PendingUnmap &p : flushQueue_)
         iovaAlloc_.free(p.iova, p.pages);

@@ -146,6 +146,7 @@ class DeferredDmaApi : public MappedDmaApi
 
     struct PendingUnmap
     {
+        iommu::DomainId domain;
         iommu::Iova iova;
         unsigned pages;
     };

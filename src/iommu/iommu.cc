@@ -1,11 +1,45 @@
 /**
  * @file
- * IOMMU translation path.
+ * IOMMU translation path and fault reporting.
  */
 
 #include "iommu/iommu.hh"
 
 namespace damn::iommu {
+
+const char *
+faultReasonName(FaultReason r)
+{
+    switch (r) {
+      case FaultReason::NotPresent:
+        return "not-present";
+      case FaultReason::Permission:
+        return "permission";
+      case FaultReason::Quarantined:
+        return "quarantined";
+      case FaultReason::Injected:
+        return "injected";
+    }
+    return "?";
+}
+
+void
+Iommu::recordFault(DomainId d, Iova iova, bool is_write,
+                   FaultReason reason)
+{
+    const FaultRecord rec{d, iova, is_write, reason, ctx_.engine.now()};
+    ++faults_;
+    const std::uint64_t df = ++domainFaults_.at(d);
+    if (faultLog_.size() < faultLogCap_)
+        faultLog_.push_back(rec);
+    else
+        ++faultLogOverflows_;
+    if (quarantineThreshold_ != 0 && reason != FaultReason::Quarantined &&
+        df >= quarantineThreshold_)
+        quarantined_.at(d) = true;
+    if (faultCb_)
+        faultCb_(rec);
+}
 
 TranslateResult
 Iommu::translate(DomainId d, Iova iova, bool is_write)
@@ -14,6 +48,18 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
     if (!enabled_) {
         r.ok = true;
         r.pa = iova; // identity: DMA address == physical address
+        return r;
+    }
+
+    if (quarantined_.at(d)) {
+        r.fault = true;
+        recordFault(d, iova, is_write, FaultReason::Quarantined);
+        return r;
+    }
+
+    if (ctx_.faults.shouldFail(sim::FaultSite::DmaTranslate)) {
+        r.fault = true;
+        recordFault(d, iova, is_write, FaultReason::Injected);
         return r;
     }
 
@@ -29,7 +75,7 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
         }
         // Permission fault despite a cached translation.
         r.fault = true;
-        ++faults_;
+        recordFault(d, iova, is_write, FaultReason::Permission);
         return r;
     }
 
@@ -38,7 +84,9 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
                                              : ctx_.cost.iotlbWalkNs;
     if (!w.present || (w.perm & need) != need) {
         r.fault = true;
-        ++faults_;
+        recordFault(d, iova, is_write,
+                    w.present ? FaultReason::Permission
+                              : FaultReason::NotPresent);
         return r;
     }
     iotlb_.insert(d, iova, w);

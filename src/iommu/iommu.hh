@@ -1,18 +1,27 @@
 /**
  * @file
- * IOMMU facade: domains, translation, invalidation queue, statistics.
+ * IOMMU facade: domains, translation, fault reporting, invalidation
+ * queue, statistics.
  *
  * Models an Intel VT-d style IOMMU: per-device protection domains with
  * their own I/O page tables, a shared IOTLB, and a single invalidation
  * queue whose submission lock is global — the contention point that
  * cripples the *strict* protection scheme in the paper (sections 4.1,
  * 6.1).
+ *
+ * Faults are *reported*, not just counted: blocked DMAs append a
+ * FaultRecord (domain, IOVA, direction, reason, timestamp) to a
+ * bounded log with VT-d-style overflow semantics, drive an optional
+ * callback, and — past a configurable per-domain threshold — quarantine
+ * the offending device until it is reset.  This is the substrate the
+ * recovery paths and the attack-attribution tests build on.
  */
 
 #ifndef DAMN_IOMMU_IOMMU_HH
 #define DAMN_IOMMU_IOMMU_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -33,6 +42,27 @@ struct TranslateResult
     sim::TimeNs latencyNs = 0; //!< device-visible latency (walks)
 };
 
+/** Why a DMA was blocked. */
+enum class FaultReason : std::uint8_t
+{
+    NotPresent,  //!< no mapping covers the IOVA
+    Permission,  //!< mapping exists but lacks the access right
+    Quarantined, //!< the domain is quarantined after repeated faults
+    Injected,    //!< forced by the fault injector (transient HW fault)
+};
+
+const char *faultReasonName(FaultReason r);
+
+/** One entry of the IOMMU fault log (a VT-d fault recording register). */
+struct FaultRecord
+{
+    DomainId domain = 0;
+    Iova iova = 0;
+    bool isWrite = false;
+    FaultReason reason = FaultReason::NotPresent;
+    sim::TimeNs time = 0;
+};
+
 /**
  * The invalidation queue: submissions serialize on a global lock, and
  * strict-mode callers hold it for the full invalidate + wait round trip.
@@ -45,7 +75,9 @@ class InvalidationQueue
     /**
      * Synchronously invalidate an IOVA range (strict mode): acquire the
      * global queue lock, submit, wait for completion, release.  The
-     * caller's core burns the spin + wait time.
+     * caller's core burns the spin + wait time.  An injected
+     * `iommu.inval` fault drops the command: the time is spent but the
+     * stale entries survive.
      * @return completion time.
      */
     sim::TimeNs
@@ -55,21 +87,54 @@ class InvalidationQueue
         const sim::TimeNs done = lock_.acquireAndHold(
             core, now, ctx_.cost.strictInvalidateNs,
             ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
+        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
+            ctx_.stats.add("iommu.inval_dropped");
+            return done;
+        }
         tlb.invalidateRange(domain, iova, len);
         return done;
     }
 
     /**
      * One batched flush covering many deferred unmaps: a single lock
-     * acquisition and a single (larger) hardware operation.
+     * acquisition and a single (larger) hardware operation, scoped to
+     * the domains whose unmaps are being flushed so one device's
+     * deferred flush cannot evict every other domain's warm entries.
      * @return completion time.
      */
     sim::TimeNs
-    batchedFlush(sim::Core &core, sim::TimeNs now, Iotlb &tlb)
+    batchedFlush(sim::Core &core, sim::TimeNs now, Iotlb &tlb,
+                 const std::vector<DomainId> &domains)
     {
         const sim::TimeNs done =
             lock_.acquireAndHold(core, now, ctx_.cost.deferredFlushNs,
                                  1.0, ctx_.engine.now());
+        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
+            ctx_.stats.add("iommu.inval_dropped");
+            return done;
+        }
+        for (const DomainId d : domains)
+            tlb.invalidateDomain(d);
+        return done;
+    }
+
+    /**
+     * Global flush (VT-d global IOTLB invalidation).  Used when the
+     * released mappings span every domain at once — e.g. the DAMN
+     * shrinker returning chunks from all device caches — where one
+     * global command is cheaper than per-domain commands.
+     * @return completion time.
+     */
+    sim::TimeNs
+    batchedFlushAll(sim::Core &core, sim::TimeNs now, Iotlb &tlb)
+    {
+        const sim::TimeNs done =
+            lock_.acquireAndHold(core, now, ctx_.cost.deferredFlushNs,
+                                 1.0, ctx_.engine.now());
+        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
+            ctx_.stats.add("iommu.inval_dropped");
+            return done;
+        }
         tlb.invalidateAll();
         return done;
     }
@@ -82,13 +147,19 @@ class InvalidationQueue
 };
 
 /**
- * The IOMMU: owns domains, the IOTLB and the invalidation queue;
- * performs device-side translations and tracks mapping statistics
- * (pages *ever* vs *currently* mapped — figure 9).
+ * The IOMMU: owns domains, the IOTLB, the invalidation queue and the
+ * fault log; performs device-side translations and tracks mapping
+ * statistics (pages *ever* vs *currently* mapped — figure 9).
  */
 class Iommu
 {
   public:
+    using FaultCallback = std::function<void(const FaultRecord &)>;
+
+    /** Default fault-log capacity (VT-d exposes a small register file;
+     *  we model a driver-side bounded ring). */
+    static constexpr std::size_t kDefaultFaultLogCapacity = 256;
+
     /**
      * @param enabled  when false, translate() is an identity map
      *                 (the paper's iommu-off baseline).
@@ -108,6 +179,8 @@ class Iommu
     createDomain()
     {
         domains_.push_back(std::make_unique<IoPageTable>());
+        domainFaults_.push_back(0);
+        quarantined_.push_back(false);
         return DomainId(domains_.size() - 1);
     }
 
@@ -148,7 +221,8 @@ class Iommu
 
     /**
      * Translate a device access.  IOTLB hit, or charged page walk +
-     * fill; faults when no valid mapping grants the access.
+     * fill; faults when no valid mapping grants the access, when the
+     * domain is quarantined, or when the injector forces a fault.
      */
     TranslateResult translate(DomainId d, Iova iova, bool is_write);
 
@@ -167,7 +241,63 @@ class Iommu
         return t;
     }
 
+    // ---- Fault reporting -------------------------------------------
+
     std::uint64_t faults() const { return faults_; }
+
+    /** Faults charged to @p d (including while quarantined). */
+    std::uint64_t
+    domainFaults(DomainId d) const
+    {
+        return domainFaults_.at(d);
+    }
+
+    /** The bounded fault log, oldest first. */
+    const std::vector<FaultRecord> &faultLog() const { return faultLog_; }
+
+    /** Records dropped because the log was full (VT-d's overflow bit,
+     *  as a count). */
+    std::uint64_t faultLogOverflows() const { return faultLogOverflows_; }
+
+    void clearFaultLog() { faultLog_.clear(); faultLogOverflows_ = 0; }
+
+    /** Resize the log; an over-capacity log keeps its oldest entries. */
+    void
+    setFaultLogCapacity(std::size_t cap)
+    {
+        faultLogCap_ = cap;
+        if (faultLog_.size() > cap)
+            faultLog_.resize(cap);
+    }
+
+    /** Invoked on every fault, even when the log overflowed. */
+    void onFault(FaultCallback cb) { faultCb_ = std::move(cb); }
+
+    // ---- Quarantine ------------------------------------------------
+
+    /**
+     * Quarantine a domain once its fault count reaches @p n (0, the
+     * default, disables quarantining).  A quarantined domain faults on
+     * *every* DMA until resetDomain() — graceful degradation instead of
+     * letting a misbehaving device hammer the fabric.
+     */
+    void setQuarantineThreshold(std::uint64_t n) { quarantineThreshold_ = n; }
+    std::uint64_t quarantineThreshold() const { return quarantineThreshold_; }
+
+    bool quarantined(DomainId d) const { return quarantined_.at(d); }
+
+    /**
+     * Device reset (FLR): lift quarantine, zero the domain's fault
+     * count, and flush its IOTLB entries.  Mappings survive — the
+     * driver decides what to re-post.
+     */
+    void
+    resetDomain(DomainId d)
+    {
+        quarantined_.at(d) = false;
+        domainFaults_.at(d) = 0;
+        iotlb_.invalidateDomain(d);
+    }
 
   private:
     void
@@ -178,13 +308,24 @@ class Iommu
             everMapped_.insert(pfn + i);
     }
 
+    void recordFault(DomainId d, Iova iova, bool is_write,
+                     FaultReason reason);
+
     sim::Context &ctx_;
     bool enabled_;
     std::vector<std::unique_ptr<IoPageTable>> domains_;
     Iotlb iotlb_;
     InvalidationQueue invalQueue_;
     std::unordered_set<mem::Pfn> everMapped_;
+
     std::uint64_t faults_ = 0;
+    std::vector<std::uint64_t> domainFaults_;
+    std::vector<bool> quarantined_;
+    std::uint64_t quarantineThreshold_ = 0;
+    std::size_t faultLogCap_ = kDefaultFaultLogCapacity;
+    std::vector<FaultRecord> faultLog_;
+    std::uint64_t faultLogOverflows_ = 0;
+    FaultCallback faultCb_;
 };
 
 } // namespace damn::iommu

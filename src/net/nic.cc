@@ -37,9 +37,29 @@ NicDevice::pace(sim::TimeNs now, unsigned port, Traffic dir,
 }
 
 dma::DmaOutcome
+NicDevice::dropSegment(sim::TimeNs now, unsigned port, Traffic dir,
+                       std::uint32_t seg_bytes)
+{
+    // Injected wire/DMA fault: the segment occupied the wire but no
+    // byte reached (or left) memory.  The driver sees a faulted
+    // completion and takes its recovery path.
+    dma::DmaOutcome out;
+    out.fault = true;
+    out.completes = pace(now, port, dir, seg_bytes, 0);
+    ctx_.stats.add(dir == Traffic::Rx ? "nic.rx_injected_drops"
+                                      : "nic.tx_injected_drops");
+    return out;
+}
+
+dma::DmaOutcome
 NicDevice::transferSegment(sim::TimeNs now, unsigned port, Traffic dir,
                            iommu::Iova dma_addr, std::uint32_t seg_bytes)
 {
+    if (ctx_.faults.shouldFail(dir == Traffic::Rx
+                                   ? sim::FaultSite::NicRx
+                                   : sim::FaultSite::NicTx))
+        return dropSegment(now, port, dir, seg_bytes);
+
     dma::DmaOutcome out =
         dmaTouch(now, dma_addr, seg_bytes, dir == Traffic::Rx);
     const sim::TimeNs paced =
@@ -53,6 +73,15 @@ NicDevice::transferSegmentSg(
     sim::TimeNs now, unsigned port, Traffic dir,
     const std::vector<std::pair<iommu::Iova, std::uint32_t>> &sg)
 {
+    if (ctx_.faults.shouldFail(dir == Traffic::Rx
+                                   ? sim::FaultSite::NicRx
+                                   : sim::FaultSite::NicTx)) {
+        std::uint32_t seg_bytes = 0;
+        for (const auto &[iova, len] : sg)
+            seg_bytes += len;
+        return dropSegment(now, port, dir, seg_bytes);
+    }
+
     dma::DmaOutcome total;
     total.ok = true;
     std::uint32_t seg_bytes = 0;

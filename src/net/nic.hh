@@ -81,6 +81,8 @@ class NicDevice : public dma::Device
 
     sim::TimeNs pace(sim::TimeNs now, unsigned port, Traffic dir,
                      std::uint32_t seg_bytes, sim::TimeNs dma_latency);
+    dma::DmaOutcome dropSegment(sim::TimeNs now, unsigned port,
+                                Traffic dir, std::uint32_t seg_bytes);
 
     System &sys_;
     std::vector<Port> ports_;

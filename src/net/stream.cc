@@ -5,6 +5,7 @@
 
 #include "net/stream.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace damn::net {
@@ -49,7 +50,27 @@ StreamEngine::pumpRx(std::size_t fi)
     const sim::TimeNs now = sys_.ctx.now();
     const dma::DmaOutcome out = nic_.transferSegment(
         now, f.spec.port, Traffic::Rx, buf.seg.dmaAddr, f.spec.segBytes);
-    assert(out.ok && "NIC RX DMA faulted on a posted buffer");
+    if (out.fault) {
+        // The DMA faulted (IOMMU fault or injected drop): the segment
+        // never landed.  Re-post the buffer at the head of the ring and
+        // have the peer retransmit after an exponentially backed-off
+        // timeout; give up (flow failed) once the budget is exhausted.
+        ++f.drops;
+        f.posted.push_front(buf);
+        ++f.rxRetries;
+        if (f.rxRetries > f.spec.maxRetries) {
+            f.failed = true;
+            return;
+        }
+        ++f.retransmits;
+        const unsigned shift = std::min(f.rxRetries - 1, 16u);
+        const sim::TimeNs retry_at =
+            out.completes + (f.spec.rtoNs << shift);
+        sys_.ctx.engine.schedule(retry_at,
+                                 [this, fi] { pumpRx(fi); });
+        return;
+    }
+    f.rxRetries = 0;
 
     sys_.ctx.engine.schedule(out.completes, [this, fi, buf, now] {
         rxProcess(fi, buf, now);
@@ -113,17 +134,42 @@ StreamEngine::pumpTx(std::size_t fi)
         cpu.charge(f.spec.extraCpuNs);
     ++f.txInflight;
 
-    const dma::DmaOutcome out = nic_.transferSegmentSg(
-        cpu.time, f.spec.port, Traffic::Tx, stack_.driver.sgOf(*skb));
-    assert(out.ok && "NIC TX DMA faulted on a mapped skb");
-
-    const sim::TimeNs started = sys_.ctx.now();
-    sys_.ctx.engine.schedule(out.completes, [this, fi, skb, started] {
-        txDone(fi, skb, started);
-    });
+    txSend(fi, skb, cpu.time, sys_.ctx.now(), /*attempt=*/1);
     // The application loops: next socket write follows immediately
     // (CPU availability permitting -- the cursor serialized on core).
     sys_.ctx.engine.schedule(cpu.time, [this, fi] { pumpTx(fi); });
+}
+
+void
+StreamEngine::txSend(std::size_t fi, std::shared_ptr<SkBuff> skb,
+                     sim::TimeNs when, sim::TimeNs started,
+                     unsigned attempt)
+{
+    State &f = flows_[fi];
+    const dma::DmaOutcome out = nic_.transferSegmentSg(
+        when, f.spec.port, Traffic::Tx, stack_.driver.sgOf(*skb));
+    if (out.fault) {
+        // The skb stays mapped; the retransmission timer fires with
+        // exponential backoff until the retry budget runs out.
+        ++f.drops;
+        if (attempt > f.spec.maxRetries) {
+            f.failed = true;
+            return;
+        }
+        ++f.retransmits;
+        const unsigned shift = std::min(attempt - 1, 16u);
+        const sim::TimeNs retry_at =
+            out.completes + (f.spec.rtoNs << shift);
+        sys_.ctx.engine.schedule(
+            retry_at, [this, fi, skb, retry_at, started, attempt] {
+                txSend(fi, skb, retry_at, started, attempt + 1);
+            });
+        return;
+    }
+
+    sys_.ctx.engine.schedule(out.completes, [this, fi, skb, started] {
+        txDone(fi, skb, started);
+    });
 }
 
 void
@@ -172,7 +218,14 @@ StreamEngine::run()
         fr.segments = f.segments;
         fr.bytes = f.bytes;
         fr.gbps = double(f.bytes) * 8.0 / 1e9 / window_s;
+        fr.drops = f.drops;
+        fr.retransmits = f.retransmits;
+        fr.failed = f.failed;
         r.flows.push_back(fr);
+        r.drops += fr.drops;
+        r.retransmits += fr.retransmits;
+        if (fr.failed)
+            ++r.failedFlows;
         if (f.spec.kind == Traffic::Rx)
             r.rxGbps += fr.gbps;
         else

@@ -37,6 +37,14 @@ struct FlowSpec
     sim::TimeNs extraCpuNs = 0;         //!< app-level work per segment
     /** Optional per-segment callback (RX only), e.g. memcached logic. */
     std::function<void(sim::CpuCursor &, SkBuff &)> perSegment;
+    /**
+     * TCP-lite loss recovery: a segment whose DMA faults (IOMMU fault
+     * or injected drop) is retransmitted after an exponentially
+     * backed-off timeout, up to @ref maxRetries times; past that the
+     * flow is marked failed and stops making progress.
+     */
+    unsigned maxRetries = 10;
+    sim::TimeNs rtoNs = 100 * sim::kNsPerUs; //!< base retransmit timeout
 };
 
 /** Measurement window configuration. */
@@ -53,6 +61,9 @@ struct FlowResult
     std::uint64_t segments = 0;
     std::uint64_t bytes = 0;
     double gbps = 0.0;
+    std::uint64_t drops = 0;       //!< segments lost to faulted DMA
+    std::uint64_t retransmits = 0; //!< recovery resends issued
+    bool failed = false;           //!< retry budget exhausted
 };
 
 /** Whole-run measurement. */
@@ -64,6 +75,9 @@ struct StreamResult
     double cpuPct = 0.0;    //!< machine-wide (100% == all cores busy)
     double memGBps = 0.0;   //!< achieved memory-controller bandwidth
     std::vector<FlowResult> flows;
+    std::uint64_t drops = 0;       //!< total faulted segments
+    std::uint64_t retransmits = 0; //!< total recovery resends
+    unsigned failedFlows = 0;      //!< flows that exhausted retries
     /** Per-segment end-to-end latency (wire start -> app consumed). */
     sim::LatencyHistogram latency;
 };
@@ -109,12 +123,18 @@ class StreamEngine
         bool appStalled = false;
         std::uint64_t segments = 0;  //!< counted inside the window
         std::uint64_t bytes = 0;
+        unsigned rxRetries = 0;      //!< consecutive faults, this segment
+        std::uint64_t drops = 0;     //!< whole-run recovery accounting
+        std::uint64_t retransmits = 0;
+        bool failed = false;
     };
 
     void startFlow(std::size_t fi);
     void pumpRx(std::size_t fi);
     void rxProcess(std::size_t fi, RxBuffer buf, sim::TimeNs started);
     void pumpTx(std::size_t fi);
+    void txSend(std::size_t fi, std::shared_ptr<SkBuff> skb,
+                sim::TimeNs when, sim::TimeNs started, unsigned attempt);
     void txDone(std::size_t fi, std::shared_ptr<SkBuff> skb,
                 sim::TimeNs started);
     bool inWindow() const;

@@ -18,6 +18,16 @@
 
 namespace damn::nvme {
 
+/** Result of a driver-level command submission (with retry). */
+struct NvmeCmdResult
+{
+    bool ok = false;
+    unsigned attempts = 0;       //!< total device-side submissions
+    unsigned timeouts = 0;       //!< attempts that timed out
+    sim::TimeNs completes = 0;   //!< success or final-failure time
+    std::uint64_t bytesDone = 0; //!< bytes DMAed on the winning attempt
+};
+
 /** NVMe device: per-IO pacing against IOPS and bandwidth ceilings. */
 class NvmeDevice : public dma::Device
 {
@@ -39,6 +49,16 @@ class NvmeDevice : public dma::Device
     dma::DmaOutcome
     readIo(sim::TimeNs now, iommu::Iova dma_addr, std::uint32_t bytes)
     {
+        if (ctx_.faults.shouldFail(sim::FaultSite::NvmeCmd)) {
+            // The command is lost in flight: no DMA, no completion
+            // entry.  The driver notices only via its timeout.
+            ++cmdDrops_;
+            ctx_.stats.add("nvme.cmd_drops");
+            dma::DmaOutcome out;
+            out.fault = true;
+            out.completes = now;
+            return out;
+        }
         dma::DmaOutcome out = dmaTouch(now, dma_addr, bytes, true);
         const auto &c = ctx_.cost;
         const sim::TimeNs iop_ns = sim::TimeNs(1e9 / c.nvmeMaxIops);
@@ -51,12 +71,51 @@ class NvmeDevice : public dma::Device
         return out;
     }
 
+    /**
+     * Driver-level submission: issue the read, and on a faulted or
+     * lost command wait out the timeout and retry, up to the cost
+     * model's bounded retry budget.  Surfaces `ok = false` after the
+     * budget instead of hanging forever.
+     */
+    NvmeCmdResult
+    submitRead(sim::TimeNs now, iommu::Iova dma_addr,
+               std::uint32_t bytes)
+    {
+        const auto &c = ctx_.cost;
+        NvmeCmdResult r;
+        sim::TimeNs t = now;
+        for (unsigned attempt = 0; attempt <= c.nvmeMaxRetries;
+             ++attempt) {
+            ++r.attempts;
+            const dma::DmaOutcome out = readIo(t, dma_addr, bytes);
+            if (!out.fault) {
+                r.ok = true;
+                r.completes = out.completes;
+                r.bytesDone = out.bytesDone;
+                return r;
+            }
+            ++r.timeouts;
+            ++timeouts_;
+            t = out.completes + c.nvmeTimeoutNs;
+        }
+        ++failedCmds_;
+        ctx_.stats.add("nvme.failed_cmds");
+        r.completes = t;
+        return r;
+    }
+
     std::uint64_t completedIos() const { return ios_; }
+    std::uint64_t cmdDrops() const { return cmdDrops_; }
+    std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t failedCmds() const { return failedCmds_; }
 
   private:
     sim::SerialResource iopsEngine_;
     sim::SerialResource media_;
     std::uint64_t ios_ = 0;
+    std::uint64_t cmdDrops_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t failedCmds_ = 0;
 };
 
 } // namespace damn::nvme

@@ -12,6 +12,7 @@
 
 #include "sim/cost_model.hh"
 #include "sim/engine.hh"
+#include "sim/fault_injector.hh"
 #include "sim/machine.hh"
 #include "sim/mem_bw.hh"
 #include "sim/rng.hh"
@@ -35,6 +36,8 @@ struct Context
     MemBwServer memBw;
     Stats stats;
     Rng rng;
+    /** Deterministic fault injection; disabled (zero-cost) by default. */
+    FaultInjector faults;
 
     /**
      * When true (default), all data paths move real bytes through the

@@ -218,6 +218,13 @@ struct CostModel
     double nvmeMaxBytesPerNs = 3.2 * 1.073741824;
     /** Kernel block-layer + driver CPU per IO (submit+complete), ns. */
     TimeNs nvmePerIoCpuNs = 1800;
+    /** Command timeout before the driver retries a lost IO, ns.  Real
+     *  NVMe timeouts are seconds; the model shortens the constant so
+     *  retry behaviour is observable inside millisecond-scale runs. */
+    TimeNs nvmeTimeoutNs = 50 * kNsPerUs;
+    /** Bounded retries after a timed-out command before the error is
+     *  surfaced to the submitter. */
+    unsigned nvmeMaxRetries = 3;
 };
 
 } // namespace damn::sim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic fault injector.
+ *
+ * Every layer that can fail under real hardware (DMA translation, NIC
+ * RX/TX, NVMe commands, IOTLB invalidations) consults a named *site* on
+ * its data path.  Sites fire either probabilistically (seeded, per-site
+ * RNG streams, so enabling one site never perturbs another) or on a
+ * schedule ("fail the Nth operation").  Because the simulation engine
+ * is deterministic, the same seed over the same run yields the same
+ * fault schedule bit-for-bit — the property the recovery tests lean on.
+ *
+ * When disabled (the default) shouldFail() is a single branch and no
+ * RNG state advances, so experiment outputs are unchanged.
+ */
+
+#ifndef DAMN_SIM_FAULT_INJECTOR_HH
+#define DAMN_SIM_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace damn::sim {
+
+/** Places on the data path where a fault can be injected. */
+enum class FaultSite : unsigned
+{
+    DmaTranslate, //!< IOMMU translation of a device access
+    NicRx,        //!< NIC receive segment DMA
+    NicTx,        //!< NIC transmit segment DMA
+    NvmeCmd,      //!< NVMe command execution
+    IommuInval,   //!< IOTLB invalidation command
+};
+
+constexpr unsigned kNumFaultSites = 5;
+
+inline const char *
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::DmaTranslate:
+        return "dma.translate";
+      case FaultSite::NicRx:
+        return "nic.rx";
+      case FaultSite::NicTx:
+        return "nic.tx";
+      case FaultSite::NvmeCmd:
+        return "nvme.cmd";
+      case FaultSite::IommuInval:
+        return "iommu.inval";
+    }
+    return "?";
+}
+
+/**
+ * Seeded, virtual-time-deterministic fault injector.  One per
+ * sim::Context; data paths call shouldFail(site) at their injection
+ * point and take their recovery path when it returns true.
+ */
+class FaultInjector
+{
+  public:
+    /** Arm the injector.  Each site gets its own RNG stream derived
+     *  from @p seed, so fault schedules are per-site reproducible. */
+    void
+    enable(std::uint64_t seed)
+    {
+        enabled_ = true;
+        seed_ = seed;
+        for (unsigned i = 0; i < kNumFaultSites; ++i)
+            sites_[i].rng = Rng(seed * 0x9e3779b97f4a7c15ull + i + 1);
+    }
+
+    /** Disarm: shouldFail() returns false without any accounting. */
+    void disable() { enabled_ = false; }
+
+    bool enabled() const { return enabled_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Fault each operation at @p site with probability @p p. */
+    void
+    setProbability(FaultSite site, double p)
+    {
+        sites_[unsigned(site)].probability = p;
+    }
+
+    /** Fault the @p nth operation at @p site (1-based, repeatable). */
+    void
+    failNth(FaultSite site, std::uint64_t nth)
+    {
+        sites_[unsigned(site)].scheduled.insert(nth);
+    }
+
+    /**
+     * The injection point: counts the operation and decides whether it
+     * faults.  Zero overhead when the injector is disabled.
+     */
+    bool
+    shouldFail(FaultSite site)
+    {
+        if (!enabled_)
+            return false;
+        Site &s = sites_[unsigned(site)];
+        const std::uint64_t n = ++s.ops;
+        bool fail = false;
+        if (!s.scheduled.empty()) {
+            auto it = s.scheduled.find(n);
+            if (it != s.scheduled.end()) {
+                s.scheduled.erase(it);
+                fail = true;
+            }
+        }
+        if (!fail && s.probability > 0.0 && s.rng.chance(s.probability))
+            fail = true;
+        if (fail)
+            ++s.injected;
+        return fail;
+    }
+
+    /** Operations seen at @p site while enabled. */
+    std::uint64_t ops(FaultSite site) const
+    {
+        return sites_[unsigned(site)].ops;
+    }
+
+    /** Faults injected at @p site. */
+    std::uint64_t injected(FaultSite site) const
+    {
+        return sites_[unsigned(site)].injected;
+    }
+
+    std::uint64_t
+    totalInjected() const
+    {
+        std::uint64_t t = 0;
+        for (const Site &s : sites_)
+            t += s.injected;
+        return t;
+    }
+
+    /** Disarm and clear all probabilities, schedules and statistics. */
+    void
+    reset()
+    {
+        enabled_ = false;
+        seed_ = 0;
+        for (Site &s : sites_)
+            s = Site{};
+    }
+
+  private:
+    struct Site
+    {
+        double probability = 0.0;
+        Rng rng = Rng(); // re-seeded by enable()
+        std::set<std::uint64_t> scheduled;
+        std::uint64_t ops = 0;
+        std::uint64_t injected = 0;
+    };
+
+    bool enabled_ = false;
+    std::uint64_t seed_ = 0;
+    std::array<Site, kNumFaultSites> sites_{};
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_FAULT_INJECTOR_HH

@@ -166,6 +166,18 @@ tocttouAttack(net::System &sys, net::NicDevice &nic,
     return fooled;
 }
 
+/** Fault records landed in @p d's domain since index @p mark. */
+std::vector<iommu::FaultRecord>
+faultsSince(const iommu::Iommu &mmu, std::size_t mark, iommu::DomainId d)
+{
+    std::vector<iommu::FaultRecord> out;
+    const auto &log = mmu.faultLog();
+    for (std::size_t i = mark; i < log.size(); ++i)
+        if (log[i].domain == d)
+            out.push_back(log[i]);
+    return out;
+}
+
 } // namespace
 
 AttackReport
@@ -177,10 +189,21 @@ runAttacks(dma::SchemeKind scheme)
     net::System sys(p);
     net::NicDevice nic(sys, "mlx5_evil");
     net::TcpStack stack(sys, nic);
+    rep.attackerDomain = nic.domain();
 
+    // Bracket each attack with a fault-log mark so a blocked attack can
+    // be attributed to its records (domain + IOVA + reason).
+    std::size_t mark = sys.mmu.faultLog().size();
     rep.colocationTheft = colocationAttack(sys, nic);
+    rep.colocationFaults = faultsSince(sys.mmu, mark, nic.domain());
+
+    mark = sys.mmu.faultLog().size();
     rep.staleWindowTheft = staleWindowAttack(sys, nic);
+    rep.staleWindowFaults = faultsSince(sys.mmu, mark, nic.domain());
+
+    mark = sys.mmu.faultLog().size();
     rep.tocttou = tocttouAttack(sys, nic, stack);
+    rep.tocttouFaults = faultsSince(sys.mmu, mark, nic.domain());
     return rep;
 }
 

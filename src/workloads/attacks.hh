@@ -38,6 +38,18 @@ struct AttackReport
      *  checked, and the OS later consumed the changed bytes. */
     bool tocttou = false;
 
+    /** Domain the attacking device operated under. */
+    iommu::DomainId attackerDomain = 0;
+    /**
+     * IOMMU fault records attributable to each attack (filtered to the
+     * attacker's domain): when a scheme *blocks* an attack, the blocked
+     * DMA shows up here with the offending IOVA and the right reason,
+     * which is how an operator would attribute a real attack.
+     */
+    std::vector<iommu::FaultRecord> colocationFaults;
+    std::vector<iommu::FaultRecord> staleWindowFaults;
+    std::vector<iommu::FaultRecord> tocttouFaults;
+
     bool
     anySucceeded() const
     {
@@ -50,6 +62,24 @@ class AttackerDevice : public dma::Device
 {
   public:
     using dma::Device::Device;
+
+    /** Remember the current end of the IOMMU fault log. */
+    void markFaults() { faultMark_ = iommu_.faultLog().size(); }
+
+    /** Fault records in *this device's* domain since markFaults(). */
+    std::vector<iommu::FaultRecord>
+    faultsSinceMark() const
+    {
+        std::vector<iommu::FaultRecord> out;
+        const auto &log = iommu_.faultLog();
+        for (std::size_t i = faultMark_; i < log.size(); ++i)
+            if (log[i].domain == domain_)
+                out.push_back(log[i]);
+        return out;
+    }
+
+  private:
+    std::size_t faultMark_ = 0;
 };
 
 /** Run all three attacks against a fresh System under @p scheme. */

@@ -53,9 +53,9 @@ class FioJob
             cpu, dev_, buffers_[slot], opts_.blockBytes,
             dma::Dir::FromDevice);
 
-        const dma::DmaOutcome out =
-            dev_.readIo(cpu.time, dma, opts_.blockBytes);
-        assert(out.ok);
+        const nvme::NvmeCmdResult out =
+            dev_.submitRead(cpu.time, dma, opts_.blockBytes);
+        assert(out.ok && "NVMe retry budget exhausted");
 
         sys_.ctx.engine.schedule(out.completes, [this, slot, dma] {
             complete(slot, dma);

@@ -390,7 +390,8 @@ TEST_F(IommuFixture, BatchedFlushInvalidatesEverything)
     mmu.mapPage(d, 0x5000, 0x9000, PermRW);
     mmu.translate(d, 0x5000, true);
     mmu.unmapPage(d, 0x5000);
-    mmu.invalQueue().batchedFlush(ctx.machine.core(0), 0, mmu.iotlb());
+    mmu.invalQueue().batchedFlush(ctx.machine.core(0), 0, mmu.iotlb(),
+                                  {d});
     EXPECT_TRUE(mmu.translate(d, 0x5000, true).fault);
 }
 
