@@ -1,0 +1,13 @@
+/**
+ * @file
+ * damn_bench: the one driver behind every evaluation experiment.
+ * All logic lives in src/exp so tests can exercise it in-process.
+ */
+
+#include "exp/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return damn::exp::runDriver(argc, argv);
+}

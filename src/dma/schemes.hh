@@ -36,7 +36,9 @@ const char *schemeKindName(SchemeKind k);
 class PassthroughDmaApi : public DmaApi
 {
   public:
-    explicit PassthroughDmaApi(sim::Context &ctx) : ctx_(ctx) {}
+    /** Needs nothing from the context; parameter kept so makeScheme
+     *  constructs every scheme uniformly. */
+    explicit PassthroughDmaApi(sim::Context &) {}
 
     iommu::Iova
     map(sim::CpuCursor &, Device &, mem::Pa pa, std::uint32_t,
@@ -54,9 +56,6 @@ class PassthroughDmaApi : public DmaApi
     bool subpage() const override { return false; }
     bool windowFree() const override { return false; }
     bool zeroCopy() const override { return true; }
-
-  private:
-    sim::Context &ctx_;
 };
 
 /**

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * damn_bench driver implementation.
+ */
+
+#include "exp/driver.hh"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+
+namespace damn::exp {
+
+namespace {
+
+const char kUsage[] =
+    "usage: damn_bench [options]\n"
+    "\n"
+    "Runs the paper's evaluation experiments through one driver and\n"
+    "reports every metric through a uniform schema.\n"
+    "\n"
+    "  --list             list registered experiments and exit\n"
+    "  --only=GLOB        run only experiments whose name matches GLOB\n"
+    "                     (shell-style * and ?, e.g. --only='fig4*')\n"
+    "  --schemes=a,b,...  restrict the scheme axis (names as printed:\n"
+    "                     iommu-off, deferred, strict, shadow, damn)\n"
+    "  --repeat=N         run each experiment N times, varying the seed\n"
+    "                     (rows gain a rep=<i> parameter)\n"
+    "  --warmup-ms=N      override every experiment's warmup window\n"
+    "  --measure-ms=N     override every experiment's measure window\n"
+    "  --seed=N           base seed for stochastic experiments (42)\n"
+    "  --json=PATH        also write results as JSON (schema v1,\n"
+    "                     documented in EXPERIMENTS.md; deterministic)\n"
+    "  --help             this text\n";
+
+bool
+parseU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    const auto res = std::from_chars(text.data(),
+                                     text.data() + text.size(), *out);
+    return res.ec == std::errc() &&
+        res.ptr == text.data() + text.size();
+}
+
+/** Split "--key=value" arguments; value empty for bare flags. */
+bool
+splitArg(const std::string &arg, std::string *key, std::string *value)
+{
+    if (arg.rfind("--", 0) != 0)
+        return false;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+        *key = arg.substr(2);
+        value->clear();
+    } else {
+        *key = arg.substr(2, eq - 2);
+        *value = arg.substr(eq + 1);
+    }
+    return true;
+}
+
+std::string
+paramsLabel(const Run &run)
+{
+    std::string out;
+    for (const auto &[k, v] : run.params) {
+        if (!out.empty())
+            out += ' ';
+        out += k + "=" + v;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+parseArgs(int argc, const char *const *argv, DriverOptions *opts,
+          std::string *err)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string key, value;
+        if (!splitArg(arg, &key, &value)) {
+            *err = "unrecognized argument: " + arg;
+            return false;
+        }
+        std::uint64_t n = 0;
+        if (key == "list") {
+            opts->list = true;
+        } else if (key == "help") {
+            opts->help = true;
+        } else if (key == "only") {
+            opts->only = value;
+        } else if (key == "schemes") {
+            std::vector<dma::SchemeKind> selected;
+            std::size_t start = 0;
+            while (start <= value.size()) {
+                std::size_t comma = value.find(',', start);
+                if (comma == std::string::npos)
+                    comma = value.size();
+                const std::string name =
+                    value.substr(start, comma - start);
+                dma::SchemeKind k;
+                if (!schemeFromName(name, &k)) {
+                    *err = "unknown scheme: '" + name + "'";
+                    return false;
+                }
+                selected.push_back(k);
+                start = comma + 1;
+            }
+            opts->schemes = std::move(selected);
+        } else if (key == "repeat") {
+            if (!parseU64(value, &n) || n == 0) {
+                *err = "--repeat needs a positive integer";
+                return false;
+            }
+            opts->repeat = unsigned(n);
+        } else if (key == "warmup-ms") {
+            if (!parseU64(value, &n)) {
+                *err = "--warmup-ms needs an integer";
+                return false;
+            }
+            opts->warmupNs = n * sim::kNsPerMs;
+        } else if (key == "measure-ms") {
+            if (!parseU64(value, &n) || n == 0) {
+                *err = "--measure-ms needs a positive integer";
+                return false;
+            }
+            opts->measureNs = n * sim::kNsPerMs;
+        } else if (key == "seed") {
+            if (!parseU64(value, &n)) {
+                *err = "--seed needs an integer";
+                return false;
+            }
+            opts->seed = n;
+        } else if (key == "json") {
+            if (value.empty()) {
+                *err = "--json needs a path";
+                return false;
+            }
+            opts->jsonPath = value;
+        } else {
+            *err = "unknown option: --" + key;
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<const Experiment *>
+selectExperiments(const DriverOptions &opts)
+{
+    std::vector<const Experiment *> out;
+    for (const Experiment *e : allExperiments())
+        if (opts.only.empty() || globMatch(opts.only, e->name))
+            out.push_back(e);
+    return out;
+}
+
+Report
+runExperiments(const DriverOptions &opts)
+{
+    Report report;
+    report.opts = opts;
+    for (const Experiment *e : selectExperiments(opts)) {
+        ExperimentResult res;
+        res.exp = e;
+        for (unsigned rep = 0; rep < opts.repeat; ++rep) {
+            Collector out;
+            RunCtx ctx{
+                *e,
+                work::RunWindow{
+                    opts.warmupNs ? opts.warmupNs
+                                  : e->defaultWindow.warmupNs,
+                    opts.measureNs ? opts.measureNs
+                                   : e->defaultWindow.measureNs,
+                },
+                opts.schemes,
+                opts.seed + rep,
+                out,
+            };
+            e->run(ctx);
+            for (Run &run : out.take()) {
+                if (opts.repeat > 1)
+                    run.params.insert(run.params.begin(),
+                                      {"rep", std::to_string(rep)});
+                res.runs.push_back(std::move(run));
+            }
+        }
+        report.experiments.push_back(std::move(res));
+    }
+    return report;
+}
+
+std::vector<ResultRow>
+flatten(const Report &report)
+{
+    std::vector<ResultRow> rows;
+    for (const ExperimentResult &er : report.experiments) {
+        for (const Run &run : er.runs) {
+            for (const Metric &m : run.metrics) {
+                ResultRow row;
+                row.experiment = er.exp->name;
+                row.scheme = run.scheme;
+                row.params = run.params;
+                row.metric = m.name;
+                row.value = m.value;
+                row.unit = m.unit;
+                row.stats = &run.stats;
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+    return rows;
+}
+
+Json
+reportJson(const Report &report)
+{
+    Json doc = Json::object();
+    doc.set("schema_version", kJsonSchemaVersion);
+    doc.set("generator", "damn_bench");
+    doc.set("seed", report.opts.seed);
+    doc.set("repeat", std::uint64_t(report.opts.repeat));
+    Json schemes = Json::array();
+    for (const dma::SchemeKind k : report.opts.schemes)
+        schemes.push(dma::schemeKindName(k));
+    doc.set("schemes", std::move(schemes));
+    doc.set("warmup_ms_override",
+            std::uint64_t(report.opts.warmupNs / sim::kNsPerMs));
+    doc.set("measure_ms_override",
+            std::uint64_t(report.opts.measureNs / sim::kNsPerMs));
+
+    Json experiments = Json::array();
+    for (const ExperimentResult &er : report.experiments) {
+        Json exp = Json::object();
+        exp.set("name", er.exp->name);
+        exp.set("title", er.exp->title);
+        exp.set("paper", er.exp->paper);
+        Json axes = Json::array();
+        for (const std::string &a : er.exp->axes)
+            axes.push(a);
+        exp.set("axes", std::move(axes));
+
+        Json runs = Json::array();
+        for (const Run &run : er.runs) {
+            Json jr = Json::object();
+            jr.set("scheme", run.scheme);
+            Json params = Json::object();
+            for (const auto &[k, v] : run.params)
+                params.set(k, v);
+            jr.set("params", std::move(params));
+            Json metrics = Json::object();
+            for (const Metric &m : run.metrics) {
+                Json jm = Json::object();
+                jm.set("value", m.value);
+                jm.set("unit", m.unit);
+                metrics.set(m.name, std::move(jm));
+            }
+            jr.set("metrics", std::move(metrics));
+            Json stats = Json::object();
+            for (const auto &[k, v] : run.stats)
+                stats.set(k, v);
+            jr.set("stats", std::move(stats));
+            runs.push(std::move(jr));
+        }
+        exp.set("runs", std::move(runs));
+        experiments.push(std::move(exp));
+    }
+    doc.set("experiments", std::move(experiments));
+    return doc;
+}
+
+void
+printReport(const Report &report, std::FILE *out)
+{
+    for (const ExperimentResult &er : report.experiments) {
+        std::fprintf(out, "\n==== %s (%s) ====\n%s\n",
+                     er.exp->name.c_str(), er.exp->paper.c_str(),
+                     er.exp->title.c_str());
+        std::fprintf(out, "%-12s %-28s %-20s %14s %s\n", "scheme",
+                     "params", "metric", "value", "unit");
+        std::fprintf(out, "%s\n", std::string(86, '-').c_str());
+        for (const Run &run : er.runs) {
+            const std::string params = paramsLabel(run);
+            for (const Metric &m : run.metrics) {
+                std::fprintf(out, "%-12s %-28s %-20s %14.3f %s\n",
+                             run.scheme.c_str(), params.c_str(),
+                             m.name.c_str(), m.value, m.unit.c_str());
+            }
+        }
+    }
+}
+
+void
+printList(const DriverOptions &opts, std::FILE *out)
+{
+    std::fprintf(out, "%-20s %-12s %s\n", "experiment", "paper",
+                 "title");
+    std::fprintf(out, "%s\n", std::string(76, '-').c_str());
+    for (const Experiment *e : selectExperiments(opts))
+        std::fprintf(out, "%-20s %-12s %s\n", e->name.c_str(),
+                     e->paper.c_str(), e->title.c_str());
+}
+
+int
+runDriver(int argc, const char *const *argv)
+{
+    DriverOptions opts;
+    std::string err;
+    if (!parseArgs(argc, argv, &opts, &err)) {
+        std::fprintf(stderr, "damn_bench: %s\n%s", err.c_str(), kUsage);
+        return 2;
+    }
+    if (opts.help) {
+        std::fprintf(stdout, "%s", kUsage);
+        return 0;
+    }
+    if (opts.list) {
+        printList(opts, stdout);
+        return 0;
+    }
+    const auto selected = selectExperiments(opts);
+    if (selected.empty()) {
+        std::fprintf(stderr,
+                     "damn_bench: no experiment matches '%s' "
+                     "(try --list)\n",
+                     opts.only.c_str());
+        return 1;
+    }
+
+    const Report report = runExperiments(opts);
+    printReport(report, stdout);
+
+    if (!opts.jsonPath.empty()) {
+        const std::string text = reportJson(report).dump();
+        std::FILE *f = std::fopen(opts.jsonPath.c_str(), "wb");
+        if (!f) {
+            std::fprintf(stderr, "damn_bench: cannot write %s: %s\n",
+                         opts.jsonPath.c_str(), std::strerror(errno));
+            return 1;
+        }
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::fprintf(stdout, "\nwrote %s (%zu bytes)\n",
+                     opts.jsonPath.c_str(), text.size());
+    }
+    return 0;
+}
+
+} // namespace damn::exp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The `damn_bench` driver: experiment selection, execution, text
+ * report, and the machine-readable JSON schema.
+ *
+ * Split from main() so tests can exercise every stage — argument
+ * parsing, selection, runs, and serialization — in-process.
+ */
+
+#ifndef DAMN_EXP_DRIVER_HH
+#define DAMN_EXP_DRIVER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/json.hh"
+
+namespace damn::exp {
+
+/** Schema version of the --json output (bump on breaking change). */
+constexpr int kJsonSchemaVersion = 1;
+
+/** Parsed command line of one damn_bench invocation. */
+struct DriverOptions
+{
+    bool list = false;
+    bool help = false;
+    std::string only;  //!< glob over experiment names; empty = all
+    std::vector<dma::SchemeKind> schemes = defaultSchemes();
+    unsigned repeat = 1;
+    sim::TimeNs warmupNs = 0;   //!< 0 = per-experiment default
+    sim::TimeNs measureNs = 0;  //!< 0 = per-experiment default
+    std::uint64_t seed = 42;
+    std::string jsonPath;  //!< empty = no JSON output
+};
+
+/** Parse argv (argv[0] ignored).  False + *err on bad usage. */
+bool parseArgs(int argc, const char *const *argv, DriverOptions *opts,
+               std::string *err);
+
+/** One experiment's collected runs. */
+struct ExperimentResult
+{
+    const Experiment *exp = nullptr;
+    std::vector<Run> runs;
+};
+
+/** Everything one driver invocation measured. */
+struct Report
+{
+    DriverOptions opts;
+    std::vector<ExperimentResult> experiments;
+};
+
+/** Experiments matching --only, sorted by name. */
+std::vector<const Experiment *>
+selectExperiments(const DriverOptions &opts);
+
+/** Run every selected experiment (repeat times each). */
+Report runExperiments(const DriverOptions &opts);
+
+/** Flatten into experiment/scheme/metric-keyed rows. */
+std::vector<ResultRow> flatten(const Report &report);
+
+/** Build the documented JSON document for a report. */
+Json reportJson(const Report &report);
+
+/** Human-readable table of every run (uniform across experiments). */
+void printReport(const Report &report, std::FILE *out);
+
+/** The `damn_bench --list` listing. */
+void printList(const DriverOptions &opts, std::FILE *out);
+
+/** Full CLI entry point (damn_bench's main). */
+int runDriver(int argc, const char *const *argv);
+
+} // namespace damn::exp
+
+#endif // DAMN_EXP_DRIVER_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The netperf TCP_STREAM experiments: figures 1, 4, 5, 6 and the
+ * latency-profile extension.  All five sweep the scheme axis over a
+ * pre-parameterized stream configuration and report through the
+ * uniform metric set.
+ */
+
+#include "exp/experiment.hh"
+#include "workloads/netperf.hh"
+
+namespace damn::exp {
+namespace {
+
+/** Paper reference points, per figure, live in the old per-figure
+ *  headers' comments; the registry keeps only the methodology. */
+
+DAMN_EXPERIMENT(fig1_tradeoffs)
+{
+    Experiment e;
+    e.name = "fig1_tradeoffs";
+    e.title = "Bidirectional multi-core netperf TCP_STREAM: "
+              "throughput and CPU per scheme";
+    e.paper = "Figure 1";
+    e.axes = {"scheme"};
+    e.run = [](RunCtx &ctx) {
+        for (const dma::SchemeKind k : ctx.schemes) {
+            work::NetperfOpts o = work::bidirectionalOpts(k);
+            o.runWindow = ctx.window;
+            const auto run = work::runNetperf(o);
+            ctx.out.beginRun(dma::schemeKindName(k));
+            ctx.out.common(run.common);
+        }
+    };
+    return e;
+}
+
+DAMN_EXPERIMENT(fig4_singlecore)
+{
+    Experiment e;
+    e.name = "fig4_singlecore";
+    e.title = "Single-core netperf TCP_STREAM (4 instances on core 0, "
+              "64 KiB aggregates): throughput and core-0 CPU";
+    e.paper = "Figure 4";
+    e.axes = {"scheme", "mode"};
+    e.run = [](RunCtx &ctx) {
+        for (const auto &[mode, label] :
+             {std::pair{work::NetMode::Rx, "rx"},
+              std::pair{work::NetMode::Tx, "tx"}}) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::NetperfOpts o = work::singleCoreOpts(k, mode);
+                o.runWindow = ctx.window;
+                const auto run = work::runNetperf(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.out.param("mode", label);
+                ctx.out.metric("gbps", run.res.totalGbps, "Gb/s");
+                // Everything is pinned to core 0; machine-wide CPU%
+                // would divide by 28 idle cores.
+                ctx.out.metric(
+                    "cpu_pct",
+                    run.sys->ctx.machine.coreUtilizationPct(
+                        0, ctx.window.measureNs),
+                    "%");
+                ctx.out.snapshotStats(run.sys->ctx.stats);
+            }
+        }
+    };
+    return e;
+}
+
+DAMN_EXPERIMENT(fig5_multicore)
+{
+    Experiment e;
+    e.name = "fig5_multicore";
+    e.title = "Multi-core netperf TCP_STREAM (28 instances, one per "
+              "core): throughput and CPU";
+    e.paper = "Figure 5";
+    e.axes = {"scheme", "mode"};
+    e.run = [](RunCtx &ctx) {
+        for (const auto &[mode, label] :
+             {std::pair{work::NetMode::Rx, "rx"},
+              std::pair{work::NetMode::Tx, "tx"}}) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::NetperfOpts o = work::multiCoreOpts(k, mode);
+                o.runWindow = ctx.window;
+                const auto run = work::runNetperf(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.out.param("mode", label);
+                ctx.out.common(run.common);
+            }
+        }
+    };
+    return e;
+}
+
+DAMN_EXPERIMENT(fig6_membw)
+{
+    Experiment e;
+    e.name = "fig6_membw";
+    e.title = "Bidirectional netperf TCP_STREAM: memory bandwidth "
+              "(shadow saturates the memory controllers)";
+    e.paper = "Figure 6";
+    e.axes = {"scheme"};
+    e.run = [](RunCtx &ctx) {
+        for (const dma::SchemeKind k : ctx.schemes) {
+            work::NetperfOpts o = work::bidirectionalOpts(k);
+            o.runWindow = ctx.window;
+            const auto run = work::runNetperf(o);
+            ctx.out.beginRun(dma::schemeKindName(k));
+            ctx.out.common(run.common);
+        }
+    };
+    return e;
+}
+
+DAMN_EXPERIMENT(latency_profile)
+{
+    Experiment e;
+    e.name = "latency_profile";
+    e.title = "Per-segment end-to-end latency distribution, "
+              "multi-core netperf RX";
+    e.paper = "extension";
+    e.axes = {"scheme"};
+    e.run = [](RunCtx &ctx) {
+        for (const dma::SchemeKind k : ctx.schemes) {
+            work::NetperfOpts o =
+                work::multiCoreOpts(k, work::NetMode::Rx);
+            o.runWindow = ctx.window;
+            const auto run = work::runNetperf(o);
+            ctx.out.beginRun(dma::schemeKindName(k));
+            ctx.out.common(run.common, /*with_latency=*/true);
+        }
+    };
+    return e;
+}
+
+} // namespace
+} // namespace damn::exp

@@ -62,10 +62,59 @@ class Stats
         return counters_;
     }
 
+    /**
+     * Immutable copy of every counter, for attaching to experiment
+     * results after a run.  The map is ordered, so serializing a
+     * snapshot is deterministic.
+     */
+    std::map<std::string, std::uint64_t>
+    snapshot() const
+    {
+        return counters_;
+    }
+
     void clear() { counters_.clear(); }
 
   private:
     std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Write-side view of a Stats object that prefixes every counter name
+ * with "<prefix>.".  Lets a reusable component (a co-runner, a churn
+ * task) publish counters under its own namespace without knowing who
+ * else shares the registry.
+ */
+class ScopedStats
+{
+  public:
+    ScopedStats(Stats &stats, std::string prefix)
+        : stats_(stats), prefix_(std::move(prefix))
+    {}
+
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        stats_.add(prefix_ + "." + name, delta);
+    }
+
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        stats_.set(prefix_ + "." + name, value);
+    }
+
+    void
+    max(const std::string &name, std::uint64_t value)
+    {
+        stats_.max(prefix_ + "." + name, value);
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    Stats &stats_;
+    std::string prefix_;
 };
 
 } // namespace damn::sim

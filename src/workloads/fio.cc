@@ -115,22 +115,23 @@ runFio(const FioOpts &opts)
             sys, dev, opts, j % sys.ctx.machine.numCores()));
     }
     for (auto &job : jobs) {
-        job->windowStart = opts.warmupNs;
+        job->windowStart = opts.runWindow.warmupNs;
         job->start();
     }
 
-    sys.ctx.engine.run(opts.warmupNs);
-    sys.ctx.machine.resetAccounting();
-    sys.ctx.engine.run(opts.warmupNs + opts.measureNs);
+    opts.runWindow.settle(sys.ctx);
+    opts.runWindow.finish(sys.ctx);
 
     FioResult r;
     std::uint64_t ios = 0;
     for (const auto &job : jobs)
         ios += job->completed;
-    const double window_s = double(opts.measureNs) / 1e9;
-    r.kiops = double(ios) / window_s / 1e3;
-    r.cpuPct = sys.ctx.machine.utilizationPct(opts.measureNs);
-    r.throughputGBps = double(ios) * opts.blockBytes / window_s / 1e9;
+    r.common.opsPerSec = opts.runWindow.perSecond(ios);
+    r.common.cpuPct = opts.runWindow.cpuPct(sys.ctx);
+    r.common.memGBps =
+        sys.ctx.memBw.achievedGBps(opts.runWindow.measureNs);
+    r.common.stats = sys.ctx.stats.snapshot();
+    r.throughputGBps = r.common.opsPerSec * opts.blockBytes / 1e9;
     return r;
 }
 

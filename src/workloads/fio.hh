@@ -16,6 +16,7 @@
 
 #include "net/system.hh"
 #include "nvme/nvme.hh"
+#include "workloads/run_window.hh"
 
 namespace damn::work {
 
@@ -25,15 +26,16 @@ struct FioOpts
     unsigned jobs = 12;
     unsigned queueDepth = 32;
     std::uint32_t blockBytes = 512;
-    sim::TimeNs warmupNs = 20 * sim::kNsPerMs;
-    sim::TimeNs measureNs = 150 * sim::kNsPerMs;
+    RunWindow runWindow{20 * sim::kNsPerMs, 150 * sim::kNsPerMs};
 };
 
+/** Uniform result: opsPerSec is the IO completion rate. */
 struct FioResult
 {
-    double kiops = 0.0;
-    double cpuPct = 0.0;     //!< machine-wide (24-core R430 server)
+    CommonResult common;
     double throughputGBps = 0.0;
+
+    double kiops() const { return common.opsPerSec / 1e3; }
 };
 
 /** Run the figure-11 experiment for one scheme + block size. */

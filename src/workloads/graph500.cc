@@ -9,6 +9,8 @@
 #include <cassert>
 #include <queue>
 
+#include "workloads/netperf.hh"
+
 namespace damn::work {
 
 Graph
@@ -132,7 +134,7 @@ validateBfs(const Graph &g, std::uint32_t root, const BfsResult &r)
 // ---------------------------------------------------------------------
 
 BfsCorunner::BfsCorunner(sim::Context &ctx, Config cfg)
-    : ctx_(ctx), cfg_(cfg)
+    : ctx_(ctx), cfg_(cfg), stats_(ctx.stats, "bfs")
 {}
 
 void
@@ -174,8 +176,11 @@ BfsCorunner::runQuantum(unsigned team, unsigned member)
     cpu.charge(sim::TimeNs(mem_ns * (1.0 + cfg_.computeFraction)));
     ctx_.memBw.occupy(cpu.time, chunk);
 
-    if (cpu.time >= windowStart_)
+    if (cpu.time >= windowStart_) {
         processedBytes_ += chunk;
+        stats_.add("quanta");
+        stats_.add("bytes", chunk);
+    }
 
     ctx_.engine.schedule(cpu.time,
                          [this, team, member] { runQuantum(team, member); });
@@ -190,6 +195,56 @@ BfsCorunner::meanIterationSeconds(sim::TimeNs now) const
     const double iterations = double(processedBytes_) /
         (double(cfg_.bytesPerIteration) * cfg_.teams);
     return window_s / (iterations / 1.0);
+}
+
+// ---------------------------------------------------------------------
+// runNetGraphCorun
+// ---------------------------------------------------------------------
+
+CorunResult
+runNetGraphCorun(const CorunOpts &opts)
+{
+    NetperfOpts o;
+    o.scheme = opts.scheme;
+    o.mode = NetMode::Bidi;
+    o.instances = 8; // 4 RX + 4 TX over 4 cores, 2 per CPU
+    o.coreLimit = 4;
+    // Few flows => LRO aggregates fully, as in the single-core test.
+    o.segBytes = 64 * 1024;
+    o.costFactor = 1.2;
+    o.runWindow = opts.runWindow;
+
+    NetperfRun run = makeNetperfSystem(o);
+    std::unique_ptr<BfsCorunner> bfs;
+    if (opts.withGraph) {
+        bfs = std::make_unique<BfsCorunner>(run.sys->ctx, opts.bfs);
+        bfs->start();
+    }
+
+    CorunResult r;
+    if (opts.withNet) {
+        net::StreamConfig sc;
+        sc.warmupNs = o.runWindow.warmupNs;
+        sc.measureNs = o.runWindow.measureNs;
+        sc.costFactor = o.costFactor;
+        net::StreamEngine eng(*run.sys, *run.nic, *run.stack, sc);
+        work::addNetperfFlows(run, eng, o);
+        if (bfs) {
+            run.sys->ctx.engine.scheduleIn(
+                o.runWindow.warmupNs,
+                [&] { bfs->resetWindow(o.runWindow.warmupNs); });
+        }
+        r.net = toCommon(eng.run(), o.runWindow);
+    } else {
+        assert(bfs && "a co-run needs at least one side");
+        opts.runWindow.settle(run.sys->ctx);
+        bfs->resetWindow(run.sys->ctx.now());
+        opts.runWindow.finish(run.sys->ctx);
+    }
+    if (bfs)
+        r.iterSeconds = bfs->meanIterationSeconds(run.sys->ctx.now());
+    r.net.stats = run.sys->ctx.stats.snapshot();
+    return r;
 }
 
 } // namespace damn::work

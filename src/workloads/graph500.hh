@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "dma/schemes.hh"
 #include "sim/context.hh"
 #include "sim/cpu_cursor.hh"
 #include "sim/rng.hh"
+#include "workloads/run_window.hh"
 
 namespace damn::work {
 
@@ -130,9 +132,34 @@ class BfsCorunner
 
     sim::Context &ctx_;
     Config cfg_;
+    sim::ScopedStats stats_;
     std::uint64_t processedBytes_ = 0;
     sim::TimeNs windowStart_ = 0;
 };
+
+/**
+ * The figure-2 experiment: bidirectional netperf on the first 4 cores
+ * beside 3 x 8-core Graph500 BFS teams, under one protection scheme.
+ * Either side can be disabled to obtain the solo baselines.
+ */
+struct CorunOpts
+{
+    dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    bool withNet = true;
+    bool withGraph = true;
+    RunWindow runWindow{30 * sim::kNsPerMs, 300 * sim::kNsPerMs};
+    BfsCorunner::Config bfs{};
+};
+
+/** Co-run result: netperf reports uniformly; the BFS side reports its
+ *  mean iteration time (the paper's figure-2 metric). */
+struct CorunResult
+{
+    CommonResult net;          //!< zeros when withNet is false
+    double iterSeconds = 0.0;  //!< 0 when withGraph is false
+};
+
+CorunResult runNetGraphCorun(const CorunOpts &opts);
 
 } // namespace damn::work
 

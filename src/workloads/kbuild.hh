@@ -38,7 +38,8 @@ class KbuildChurn
     };
 
     KbuildChurn(sim::Context &ctx, mem::PageAllocator &pa, Config cfg)
-        : ctx_(ctx), pageAlloc_(pa), cfg_(cfg)
+        : ctx_(ctx), pageAlloc_(pa), cfg_(cfg),
+          stats_(ctx.stats, "kbuild")
     {}
 
     /** Begin churning (runs until the engine stops). */
@@ -73,6 +74,8 @@ class KbuildChurn
             pages += 1u << order;
         }
         ++bursts_;
+        stats_.add("bursts");
+        stats_.add("pages", pages);
 
         const sim::TimeNs hold = ctx_.rng.between(cfg_.minHoldNs,
                                                   cfg_.maxHoldNs);
@@ -86,6 +89,7 @@ class KbuildChurn
     sim::Context &ctx_;
     mem::PageAllocator &pageAlloc_;
     Config cfg_;
+    sim::ScopedStats stats_;
     std::uint64_t bursts_ = 0;
 };
 

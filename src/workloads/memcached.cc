@@ -136,22 +136,24 @@ runMemcached(const MemcachedOpts &opts)
             sys, nic, stack, opts, i));
     }
     for (auto &inst : instances) {
-        inst->windowStart = opts.warmupNs;
+        inst->windowStart = opts.runWindow.warmupNs;
         inst->start();
     }
 
-    sys.ctx.engine.run(opts.warmupNs);
-    sys.ctx.machine.resetAccounting();
-    sys.ctx.engine.run(opts.warmupNs + opts.measureNs);
+    opts.runWindow.settle(sys.ctx);
+    opts.runWindow.finish(sys.ctx);
 
     MemcachedResult r;
     std::uint64_t ops = 0;
     for (const auto &inst : instances)
         ops += inst->opsDone;
-    const double window_s = double(opts.measureNs) / 1e9;
-    r.tps = double(ops) / window_s;
-    r.cpuPct = sys.ctx.machine.utilizationPct(opts.measureNs);
-    r.gbps = double(ops) * opts.valueBytes * 8.0 / 1e9 / window_s;
+    r.common.opsPerSec = opts.runWindow.perSecond(ops);
+    r.common.cpuPct = opts.runWindow.cpuPct(sys.ctx);
+    r.common.gbps = opts.runWindow.perSecond(ops * opts.valueBytes) *
+        8.0 / 1e9;
+    r.common.memGBps =
+        sys.ctx.memBw.achievedGBps(opts.runWindow.measureNs);
+    r.common.stats = sys.ctx.stats.snapshot();
     return r;
 }
 

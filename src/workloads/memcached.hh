@@ -30,15 +30,13 @@ struct MemcachedOpts
     /** memslap-side turnaround between response and next request
      *  (client parse + build + RTT), ns. */
     sim::TimeNs clientTurnaroundNs = 700 * sim::kNsPerUs;
-    sim::TimeNs warmupNs = 30 * sim::kNsPerMs;
-    sim::TimeNs measureNs = 200 * sim::kNsPerMs;
+    RunWindow runWindow{};
 };
 
+/** Uniform result: opsPerSec is the memcached TPS. */
 struct MemcachedResult
 {
-    double tps = 0.0;       //!< memcached operations per second
-    double cpuPct = 0.0;    //!< machine-wide
-    double gbps = 0.0;      //!< network throughput moved
+    CommonResult common;
 };
 
 /** Run the figure-7 experiment for one scheme. */

@@ -50,6 +50,21 @@ addNetperfFlows(NetperfRun &run, net::StreamEngine &eng,
     }
 }
 
+CommonResult
+toCommon(const net::StreamResult &res, const RunWindow &window)
+{
+    CommonResult c;
+    c.gbps = res.totalGbps;
+    c.cpuPct = res.cpuPct;
+    c.memGBps = res.memGBps;
+    std::uint64_t segments = 0;
+    for (const net::FlowResult &f : res.flows)
+        segments += f.segments;
+    c.opsPerSec = window.perSecond(segments);
+    c.latency = res.latency;
+    return c;
+}
+
 NetperfRun
 runNetperf(const NetperfOpts &opts,
            const std::function<void(NetperfRun &)> &customize)
@@ -59,12 +74,15 @@ runNetperf(const NetperfOpts &opts,
         customize(run);
 
     net::StreamConfig sc;
-    sc.warmupNs = opts.warmupNs;
-    sc.measureNs = opts.measureNs;
+    sc.warmupNs = opts.runWindow.warmupNs;
+    sc.measureNs = opts.runWindow.measureNs;
     sc.costFactor = opts.costFactor;
     net::StreamEngine eng(*run.sys, *run.nic, *run.stack, sc);
     addNetperfFlows(run, eng, opts);
     run.res = eng.run();
+
+    run.common = toCommon(run.res, opts.runWindow);
+    run.common.stats = run.sys->ctx.stats.snapshot();
     return run;
 }
 

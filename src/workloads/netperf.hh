@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "net/stream.hh"
+#include "workloads/run_window.hh"
 
 namespace damn::work {
 
@@ -36,8 +37,7 @@ struct NetperfOpts
     std::uint32_t segBytes = 16 * 1024;
     unsigned window = 32;
     double costFactor = 1.0;
-    sim::TimeNs warmupNs = 30 * sim::kNsPerMs;
-    sim::TimeNs measureNs = 200 * sim::kNsPerMs;
+    RunWindow runWindow{};
     net::SystemParams sysParams{};  //!< scheme field is overwritten
 };
 
@@ -48,10 +48,16 @@ struct NetperfRun
     std::unique_ptr<net::NicDevice> nic;
     std::unique_ptr<net::TcpStack> stack;
     net::StreamResult res;
+    /** The uniform workload-result view of @ref res. */
+    CommonResult common;
 };
 
 /** Build the System/NIC/stack for @p opts without running traffic. */
 NetperfRun makeNetperfSystem(const NetperfOpts &opts);
+
+/** Uniform view of a stream measurement (opsPerSec == segments/s). */
+CommonResult toCommon(const net::StreamResult &res,
+                      const RunWindow &window);
 
 /**
  * Run one netperf experiment.  @p customize, when given, can add

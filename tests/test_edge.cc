@@ -213,12 +213,12 @@ TEST(Edge, MemcachedDeterministic)
 {
     work::MemcachedOpts o;
     o.instances = 4;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 20 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 20 * sim::kNsPerMs;
     const auto a = work::runMemcached(o);
     const auto b = work::runMemcached(o);
-    EXPECT_DOUBLE_EQ(a.tps, b.tps);
-    EXPECT_DOUBLE_EQ(a.cpuPct, b.cpuPct);
+    EXPECT_DOUBLE_EQ(a.common.opsPerSec, b.common.opsPerSec);
+    EXPECT_DOUBLE_EQ(a.common.cpuPct, b.common.cpuPct);
 }
 
 TEST(Edge, SystemsAreFullyIsolated)

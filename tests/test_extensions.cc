@@ -85,8 +85,8 @@ TEST(StreamLatency, StrictHasFatterTailThanDamn)
         o.instances = 28;
         o.segBytes = 16 * 1024;
         o.costFactor = o.sysParams.cost.multiFlowFactor;
-        o.warmupNs = 5 * sim::kNsPerMs;
-        o.measureNs = 30 * sim::kNsPerMs;
+        o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+        o.runWindow.measureNs = 30 * sim::kNsPerMs;
         return work::runNetperf(o);
     };
     const auto strict = run(dma::SchemeKind::Strict);
@@ -103,8 +103,8 @@ TEST(StreamLatency, RecordsEverySegmentInWindow)
     o.scheme = dma::SchemeKind::IommuOff;
     o.instances = 2;
     o.coreLimit = 2;
-    o.warmupNs = 2 * sim::kNsPerMs;
-    o.measureNs = 10 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 2 * sim::kNsPerMs;
+    o.runWindow.measureNs = 10 * sim::kNsPerMs;
     const auto run = work::runNetperf(o);
     std::uint64_t segs = 0;
     for (const auto &f : run.res.flows)

@@ -392,8 +392,8 @@ runStorm()
     work::NetperfOpts opts =
         work::singleCoreOpts(dma::SchemeKind::Deferred,
                              work::NetMode::Rx);
-    opts.warmupNs = 2 * sim::kNsPerMs;
-    opts.measureNs = 10 * sim::kNsPerMs;
+    opts.runWindow.warmupNs = 2 * sim::kNsPerMs;
+    opts.runWindow.measureNs = 10 * sim::kNsPerMs;
     return work::runNetperf(opts, [](work::NetperfRun &r) {
         r.sys->ctx.faults.enable(42);
         r.sys->ctx.faults.setProbability(sim::FaultSite::NicRx, 0.01);
@@ -429,8 +429,8 @@ TEST(StreamRecovery, TxDropsAreRetransmitted)
 {
     work::NetperfOpts opts = work::singleCoreOpts(
         dma::SchemeKind::Deferred, work::NetMode::Tx);
-    opts.warmupNs = 2 * sim::kNsPerMs;
-    opts.measureNs = 10 * sim::kNsPerMs;
+    opts.runWindow.warmupNs = 2 * sim::kNsPerMs;
+    opts.runWindow.measureNs = 10 * sim::kNsPerMs;
     const work::NetperfRun r =
         work::runNetperf(opts, [](work::NetperfRun &run) {
             run.sys->ctx.faults.enable(42);

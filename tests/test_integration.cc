@@ -105,8 +105,8 @@ TEST_P(E2E, SoakTrafficKeepsMemoryBounded)
     o.instances = 4;
     o.coreLimit = 4;
     o.segBytes = 16 * 1024;
-    o.warmupNs = 2 * sim::kNsPerMs;
-    o.measureNs = 40 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 2 * sim::kNsPerMs;
+    o.runWindow.measureNs = 40 * sim::kNsPerMs;
     const auto run = work::runNetperf(o);
     EXPECT_GT(run.res.totalGbps, 1.0);
     // Bound: posted buffers + DAMN/shadow pools + slack, well under

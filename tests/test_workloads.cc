@@ -180,8 +180,8 @@ smokeOpts(dma::SchemeKind k, NetMode mode)
     o.instances = 4;
     o.coreLimit = 4;
     o.segBytes = 16 * 1024;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 20 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 20 * sim::kNsPerMs;
     return o;
 }
 
@@ -250,7 +250,7 @@ TEST(Netperf, DeterministicAcrossRuns)
 TEST(Netperf, DamnMemoryStaysBounded)
 {
     auto o = smokeOpts(dma::SchemeKind::Damn, NetMode::Bidi);
-    o.measureNs = 50 * sim::kNsPerMs;
+    o.runWindow.measureNs = 50 * sim::kNsPerMs;
     const auto run = runNetperf(o);
     // DMA caches recycle: owned memory is far below traffic volume.
     EXPECT_LT(run.sys->damn->ownedBytes(), 64ull << 20);
@@ -266,23 +266,23 @@ TEST(Memcached, MovesOperations)
     MemcachedOpts o;
     o.scheme = dma::SchemeKind::IommuOff;
     o.instances = 4;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 20 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 20 * sim::kNsPerMs;
     const MemcachedResult r = runMemcached(o);
-    EXPECT_GT(r.tps, 100.0);
-    EXPECT_LE(r.cpuPct, 100.0);
+    EXPECT_GT(r.common.opsPerSec, 100.0);
+    EXPECT_LE(r.common.cpuPct, 100.0);
 }
 
 TEST(Memcached, StrictWellBelowOthers)
 {
     MemcachedOpts o;
     o.instances = 8;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 25 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 25 * sim::kNsPerMs;
     o.scheme = dma::SchemeKind::Damn;
-    const double damn_tps = runMemcached(o).tps;
+    const double damn_tps = runMemcached(o).common.opsPerSec;
     o.scheme = dma::SchemeKind::Strict;
-    const double strict_tps = runMemcached(o).tps;
+    const double strict_tps = runMemcached(o).common.opsPerSec;
     EXPECT_LT(strict_tps, damn_tps * 0.8);
 }
 
@@ -291,10 +291,10 @@ TEST(Fio, DeviceBoundAt512B)
     FioOpts o;
     o.scheme = dma::SchemeKind::IommuOff;
     o.blockBytes = 512;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 30 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 30 * sim::kNsPerMs;
     const FioResult r = runFio(o);
-    EXPECT_NEAR(r.kiops, 900.0, 50.0);
+    EXPECT_NEAR(r.kiops(), 900.0, 50.0);
 }
 
 TEST(Fio, ThroughputBoundAtLargeBlocks)
@@ -302,8 +302,8 @@ TEST(Fio, ThroughputBoundAtLargeBlocks)
     FioOpts o;
     o.scheme = dma::SchemeKind::Deferred;
     o.blockBytes = 65536;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 30 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 30 * sim::kNsPerMs;
     const FioResult r = runFio(o);
     EXPECT_NEAR(r.throughputGBps, 3.4, 0.3); // ~3.2 GiB/s media cap
 }
@@ -312,15 +312,15 @@ TEST(Fio, NoSchemeThrottlesTheDevice)
 {
     FioOpts o;
     o.blockBytes = 512;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 30 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 30 * sim::kNsPerMs;
     double iops[4];
     unsigned i = 0;
     for (const auto k :
          {dma::SchemeKind::IommuOff, dma::SchemeKind::Deferred,
           dma::SchemeKind::Strict, dma::SchemeKind::Shadow}) {
         o.scheme = k;
-        iops[i++] = runFio(o).kiops;
+        iops[i++] = runFio(o).kiops();
     }
     for (unsigned j = 1; j < 4; ++j)
         EXPECT_GT(iops[j], iops[0] * 0.93);
@@ -330,12 +330,12 @@ TEST(Fio, StrictBurnsMoreCpuAtSmallBlocks)
 {
     FioOpts o;
     o.blockBytes = 512;
-    o.warmupNs = 5 * sim::kNsPerMs;
-    o.measureNs = 30 * sim::kNsPerMs;
+    o.runWindow.warmupNs = 5 * sim::kNsPerMs;
+    o.runWindow.measureNs = 30 * sim::kNsPerMs;
     o.scheme = dma::SchemeKind::Deferred;
-    const double deferred_cpu = runFio(o).cpuPct;
+    const double deferred_cpu = runFio(o).common.cpuPct;
     o.scheme = dma::SchemeKind::Strict;
-    const double strict_cpu = runFio(o).cpuPct;
+    const double strict_cpu = runFio(o).common.cpuPct;
     EXPECT_GT(strict_cpu, deferred_cpu * 1.5);
 }
 
