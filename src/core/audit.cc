@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Teardown invariant checker implementation.
+ */
+
+#include "core/audit.hh"
+
+namespace damn::audit {
+
+Auditor::Auditor(iommu::Iommu &mmu) : mmu_(mmu)
+{
+    ledger_.resize(mmu.numDomains());
+    mmu_.onMapChange(
+        [this](iommu::MapEvent ev, iommu::DomainId d, iommu::Iova iova,
+               unsigned pages) { onEvent(ev, d, iova, pages); });
+}
+
+void
+Auditor::onEvent(iommu::MapEvent ev, iommu::DomainId d, iommu::Iova iova,
+                 unsigned pages)
+{
+    if (d >= ledger_.size())
+        ledger_.resize(d + 1);
+    auto &dom = ledger_[d];
+    switch (ev) {
+      case iommu::MapEvent::Map:
+        ++mapEvents_;
+        dom[iova] = pages;
+        break;
+      case iommu::MapEvent::Unmap:
+        ++unmapEvents_;
+        dom.erase(iova);
+        break;
+      case iommu::MapEvent::DetachClear:
+        // The IOMMU dropped the whole table; anything still in the
+        // ledger was force-cleared and is reported by verifyTeardown()
+        // through the detach return value — the ledger follows suit.
+        dom.clear();
+        break;
+    }
+}
+
+std::uint64_t
+Auditor::ledgerPages(iommu::DomainId d) const
+{
+    if (d >= ledger_.size())
+        return 0;
+    std::uint64_t n = 0;
+    for (const auto &[iova, pages] : ledger_[d])
+        n += pages;
+    return n;
+}
+
+std::uint64_t
+Auditor::staleTlbEntries(iommu::DomainId d) const
+{
+    std::uint64_t stale = 0;
+    for (const iommu::TlbEntry &e :
+         mmu_.iotlb().validEntries(d)) {
+        const iommu::WalkResult w = mmu_.pageTable(d).walk(e.iovaPage);
+        const std::uint64_t page_mask =
+            (e.huge ? iommu::kHugePageSize : mem::kPageSize) - 1;
+        if (!w.present || w.huge != e.huge ||
+            (w.pa & ~page_mask) != e.paPage)
+            ++stale;
+    }
+    return stale;
+}
+
+TeardownReport
+Auditor::verifyTeardown(iommu::DomainId d,
+                        std::uint64_t outstanding_iovas,
+                        std::uint64_t force_cleared) const
+{
+    TeardownReport r;
+    r.domain = d;
+    r.ledgerPages = ledgerPages(d);
+    r.tablePages = mmu_.pageTable(d).mappedPages();
+    r.tlbEntries = mmu_.iotlb().validEntries(d).size();
+    r.staleTlbEntries = staleTlbEntries(d);
+    r.leakedIovas = outstanding_iovas;
+    r.forceCleared = force_cleared;
+
+    const auto flag = [&r](const std::string &v) {
+        r.violations.push_back(v);
+    };
+    if (r.tablePages != 0)
+        flag("page table still holds " + std::to_string(r.tablePages) +
+             " live pages");
+    if (r.ledgerPages != 0)
+        flag("ledger still holds " + std::to_string(r.ledgerPages) +
+             " live pages");
+    if (r.ledgerPages != r.tablePages)
+        flag("ledger (" + std::to_string(r.ledgerPages) +
+             ") and page table (" + std::to_string(r.tablePages) +
+             ") disagree");
+    if (r.tlbEntries != 0)
+        flag(std::to_string(r.tlbEntries) +
+             " IOTLB entries survived teardown");
+    if (r.staleTlbEntries != 0)
+        flag(std::to_string(r.staleTlbEntries) +
+             " stale IOTLB entries (freed memory device-reachable)");
+    if (r.leakedIovas != 0)
+        flag(std::to_string(r.leakedIovas) + " IOVAs leaked");
+    if (r.forceCleared != 0)
+        flag("detach force-cleared " + std::to_string(r.forceCleared) +
+             " pages the drain missed");
+    return r;
+}
+
+} // namespace damn::audit

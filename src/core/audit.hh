@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Map/unmap ledger and teardown invariant checker.
+ *
+ * The auditor observes every successful I/O page-table mutation via
+ * Iommu::onMapChange() and keeps its own per-domain ledger of live
+ * mappings.  At teardown it cross-checks three independent sources of
+ * truth — the ledger, the page table, and the IOTLB — plus the
+ * allocators' IOVA accounting, and reports every violated invariant:
+ *
+ *   1. zero live mappings     (ledger empty, page table empty, agree)
+ *   2. zero stale IOTLB state (no valid entries for the domain; no
+ *                              entry anywhere translating a torn-down
+ *                              page)
+ *   3. zero leaked IOVAs      (allocators report nothing outstanding)
+ *   4. nothing force-cleared  (detachDomain() found an empty table)
+ *
+ * A clean report means the drain ordering — rings, then caches, then
+ * page table, then IOTLB — ran to completion; any violation pinpoints
+ * the layer that leaked.
+ */
+
+#ifndef DAMN_CORE_AUDIT_HH
+#define DAMN_CORE_AUDIT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iommu/iommu.hh"
+
+namespace damn::audit {
+
+/** Outcome of verifyTeardown(): empty violations == clean. */
+struct TeardownReport
+{
+    iommu::DomainId domain = 0;
+    std::uint64_t ledgerPages = 0;   //!< live mappings per the ledger
+    std::uint64_t tablePages = 0;    //!< live mappings per the page table
+    std::uint64_t tlbEntries = 0;    //!< valid IOTLB entries surviving
+    std::uint64_t staleTlbEntries = 0; //!< TLB entries the table disowns
+    std::uint64_t leakedIovas = 0;   //!< allocator-reported outstanding
+    std::uint64_t forceCleared = 0;  //!< pages detachDomain() had to drop
+    std::vector<std::string> violations;
+
+    bool clean() const { return violations.empty(); }
+};
+
+/**
+ * The ledger.  Construct it against an Iommu *before* the workload
+ * maps anything — it installs the map observer (there is one slot;
+ * constructing a second Auditor steals it).
+ */
+class Auditor
+{
+  public:
+    explicit Auditor(iommu::Iommu &mmu);
+
+    Auditor(const Auditor &) = delete;
+    Auditor &operator=(const Auditor &) = delete;
+
+    /** Live 4 KiB-equivalent pages the ledger holds for @p d. */
+    std::uint64_t ledgerPages(iommu::DomainId d) const;
+
+    /** Total Map events seen (lifetime). */
+    std::uint64_t mapEvents() const { return mapEvents_; }
+    /** Total Unmap events seen (lifetime). */
+    std::uint64_t unmapEvents() const { return unmapEvents_; }
+
+    /**
+     * IOTLB entries for @p d whose translation the page table no
+     * longer backs (missing, different frame, or different page size):
+     * each one keeps freed memory device-reachable.
+     */
+    std::uint64_t staleTlbEntries(iommu::DomainId d) const;
+
+    /**
+     * Run the full invariant battery for a domain that should now be
+     * completely torn down.
+     *
+     * @param outstanding_iovas  allocator-side leak count (DAMN slots
+     *                           plus the scheme's DMA-API IOVAs).
+     * @param force_cleared      return value of Iommu::detachDomain().
+     */
+    TeardownReport verifyTeardown(iommu::DomainId d,
+                                  std::uint64_t outstanding_iovas,
+                                  std::uint64_t force_cleared) const;
+
+  private:
+    void onEvent(iommu::MapEvent ev, iommu::DomainId d, iommu::Iova iova,
+                 unsigned pages);
+
+    iommu::Iommu &mmu_;
+    /** Per-domain: iova page -> pages mapped there (1 or 512). */
+    std::vector<std::map<iommu::Iova, unsigned>> ledger_;
+    std::uint64_t mapEvents_ = 0;
+    std::uint64_t unmapEvents_ = 0;
+};
+
+} // namespace damn::audit
+
+#endif // DAMN_CORE_AUDIT_HH

@@ -210,6 +210,32 @@ DamnAllocator::shrink(sim::CpuCursor &cpu)
 }
 
 std::uint64_t
+DamnAllocator::drainDomain(sim::CpuCursor &cpu, iommu::DomainId d)
+{
+    std::uint64_t chunks = 0;
+    for (auto &cache : caches_)
+        if (cache->domain() == d)
+            chunks += cache->drain(cpu);
+    if (chunks > 0) {
+        // Teardown flush is scoped: only the detaching domain's entries
+        // need to die, and other devices' warm entries must survive.
+        cpu.time = iommu_.invalQueue().batchedFlush(
+            *cpu.core, cpu.time, iommu_.iotlb(), {d});
+    }
+    return chunks * config_.cache.chunkBytes();
+}
+
+std::uint64_t
+DamnAllocator::outstandingIovaSlots(iommu::DomainId d) const
+{
+    std::uint64_t n = 0;
+    for (const auto &cache : caches_)
+        if (cache->domain() == d)
+            n += cache->outstandingIovaSlots();
+    return n;
+}
+
+std::uint64_t
 DamnAllocator::ownedBytes() const
 {
     std::uint64_t b = 0;

@@ -99,6 +99,18 @@ class DamnAllocator
      */
     std::uint64_t shrink(sim::CpuCursor &cpu);
 
+    /**
+     * Device-teardown drain: retire bump chunks and release cached
+     * chunks of every cache serving domain @p d, followed by one
+     * domain-scoped IOTLB flush.  Live buffers survive; the caller
+     * checks outstandingIovaSlots(d) afterwards to find leaks.
+     * @return bytes released.
+     */
+    std::uint64_t drainDomain(sim::CpuCursor &cpu, iommu::DomainId d);
+
+    /** IOVA chunk slots still outstanding across domain @p d's caches. */
+    std::uint64_t outstandingIovaSlots(iommu::DomainId d) const;
+
     /** Bytes owned by all DMA caches (live + cached). */
     std::uint64_t ownedBytes() const;
 

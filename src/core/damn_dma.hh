@@ -80,6 +80,23 @@ class DamnDmaApi : public dma::DmaApi
         fallback_->flushPending(cpu);
     }
 
+    std::uint64_t
+    drainDomain(sim::CpuCursor &cpu, dma::Device &dev) override
+    {
+        // DAMN's long-lived mappings are the chunk caches; drain them
+        // (bump retire + shrink + scoped flush) and then let the
+        // fallback release whatever it keeps per domain.
+        const std::uint64_t bytes = alloc_.drainDomain(cpu, dev.domain());
+        return bytes / mem::kPageSize +
+               fallback_->drainDomain(cpu, dev);
+    }
+
+    std::uint64_t
+    outstandingIovas() const override
+    {
+        return fallback_->outstandingIovas();
+    }
+
     const char *name() const override { return "damn"; }
     bool subpage() const override { return true; }
     bool windowFree() const override { return true; }

@@ -167,7 +167,13 @@ DmaCache::allocChunk(sim::CpuCursor &cpu)
     cpu.charge(ctx_.cost.pageAllocNs);
     c.pfn = pageAlloc_.allocPages(order, numa_,
                                   /*zero=*/ctx_.functionalData);
-    assert(c.pfn != mem::kInvalidPfn && "OS page allocator exhausted");
+    if (c.pfn == mem::kInvalidPfn) {
+        // OS page allocator exhausted: propagate the failure up the
+        // magazine protocol instead of dying here — alloc() returns 0
+        // and the caller takes its OOM path.
+        ctx_.stats.add("damn.chunk_alloc_fails");
+        return Chunk{};
+    }
     // The depot zeroes every chunk it obtains from the OS (TX security,
     // section 5.6); zeroing costs CPU time.
     cpu.charge(sim::TimeNs(double(config_.chunkBytes()) /
@@ -242,6 +248,8 @@ DmaCache::getChunk(sim::CpuCursor &cpu, PerCore &pc)
         return pc.loaded.pop();
     }
     depot_.exchangeForFull(cpu, pc.loaded);
+    if (pc.loaded.empty())
+        return Chunk{}; // depot + OS both dry: allocation failure
     return pc.loaded.pop();
 }
 
@@ -290,6 +298,10 @@ DmaCache::alloc(sim::CpuCursor &cpu, std::uint32_t size,
     if (!bs.chunk.valid() || start + size > config_.chunkBytes()) {
         retireBumpChunk(cpu, pc, bs);
         bs.chunk = getChunk(cpu, pc);
+        if (!bs.chunk.valid()) {
+            ctx_.stats.add("damn.alloc_fails");
+            return 0;
+        }
         bs.offset = 0;
         start = 0;
         // Install the allocator's bias reference.
@@ -341,6 +353,37 @@ DmaCache::shrink(sim::CpuCursor &cpu)
     }
     released += depot_.shrink(cpu);
     return released;
+}
+
+std::uint64_t
+DmaCache::drain(sim::CpuCursor &cpu)
+{
+    if (config_.hugeIovaPages)
+        return 0; // analysis-only variant: never drained
+    // Retire the per-core bump chunks first: each holds the allocator's
+    // bias reference, and dropping it lets idle chunks fall into the
+    // magazines that shrink() then empties.  Chunks with buffers still
+    // alive keep their refcount and survive the drain.
+    for (sim::CoreId core = 0; core < sim::CoreId(perCore_.size());
+         ++core) {
+        for (const AllocCtx actx :
+             {AllocCtx::Standard, AllocCtx::Interrupt}) {
+            PerCore &pc = state(core, actx);
+            retireBumpChunk(cpu, pc, pc.bump);
+            retireBumpChunk(cpu, pc, pc.pageBump);
+        }
+    }
+    return shrink(cpu);
+}
+
+std::uint64_t
+DmaCache::outstandingIovaSlots() const
+{
+    // Dense/huge/unmapped variants have no recycling slot machinery:
+    // every owned chunk is the outstanding unit.
+    if (config_.denseIova || config_.hugeIovaPages || !config_.mapInIommu)
+        return ownedChunks_;
+    return nextSlot_ - freeSlots_.size();
 }
 
 } // namespace damn::core

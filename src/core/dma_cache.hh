@@ -109,6 +109,21 @@ class DmaCache : public ChunkSource
      */
     std::uint64_t shrink(sim::CpuCursor &cpu);
 
+    /**
+     * Teardown drain: retire every per-core bump chunk (dropping the
+     * allocator's bias reference, so idle chunks become reclaimable)
+     * and then shrink().  After a drain, ownedChunks() counts only
+     * chunks with buffers the workload still holds.
+     * @return chunks released to the OS.
+     */
+    std::uint64_t drain(sim::CpuCursor &cpu);
+
+    /**
+     * IOVA slots handed out and not yet recycled.  Equals ownedChunks()
+     * after a complete drain; the audit flags any excess as a leak.
+     */
+    std::uint64_t outstandingIovaSlots() const;
+
     /** Total chunks currently owned (live + cached). */
     std::uint64_t ownedChunks() const { return ownedChunks_; }
     /** Bytes of memory owned by this cache. */

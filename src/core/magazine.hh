@@ -112,7 +112,10 @@ class Depot
     /**
      * Exchange an empty (or partial) magazine for a full one.
      * The caller's magazine is drained into the depot's empty pool and
-     * a full magazine is returned through @p mag.
+     * a full magazine is returned through @p mag.  Under memory
+     * pressure the replacement may be partial or even empty — the
+     * chunk source ran dry — and the caller must treat an empty
+     * magazine as allocation failure.
      */
     void
     exchangeForFull(sim::CpuCursor &cpu, Magazine &mag)
@@ -123,6 +126,13 @@ class Depot
             spare_.push_back(c);
         if (fulls_.empty())
             refill(cpu);
+        if (fulls_.empty()) {
+            // Source exhausted with nothing spare: hand back the (now
+            // empty) caller magazine — the OOM signal.
+            mag = Magazine(magCap_);
+            ++exchanges_;
+            return;
+        }
         mag = std::move(fulls_.back());
         fulls_.pop_back();
         ++exchanges_;
@@ -177,7 +187,9 @@ class Depot
     std::uint64_t exchanges() const { return exchanges_; }
 
   private:
-    /** Fill one magazine from spares/fresh chunks. Lock already held. */
+    /** Fill one magazine from spares/fresh chunks. Lock already held.
+     *  Stops early (possibly pushing nothing) when the source cannot
+     *  produce a chunk — page-allocator exhaustion. */
     void
     refill(sim::CpuCursor &cpu)
     {
@@ -187,10 +199,14 @@ class Depot
                 m.push(spare_.back());
                 spare_.pop_back();
             } else {
-                m.push(source_.allocChunk(cpu));
+                const Chunk c = source_.allocChunk(cpu);
+                if (!c.valid())
+                    break;
+                m.push(c);
             }
         }
-        fulls_.push_back(std::move(m));
+        if (!m.empty())
+            fulls_.push_back(std::move(m));
     }
 
     ChunkSource &source_;

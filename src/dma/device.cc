@@ -14,6 +14,24 @@ Device::dmaAccess(sim::TimeNs now, iommu::Iova addr, void *buf,
                   std::uint64_t len, bool is_write)
 {
     DmaOutcome out;
+
+    // Surprise unplug fires *on* a DMA: the access that draws the
+    // short straw sees the device disappear under it.
+    if (attached_ &&
+        ctx_.faults.shouldFail(sim::FaultSite::DeviceUnplug)) {
+        unplug();
+        ctx_.stats.add("dma.surprise_unplugs");
+    }
+    if (!attached_) {
+        // Bus master-abort: completes immediately, no bytes moved, no
+        // IOMMU interaction (there is no device to translate for).
+        out.fault = true;
+        out.completes = now;
+        ++faultedDmas_;
+        ctx_.stats.add("dma.unplugged_aborts");
+        return out;
+    }
+
     auto *cursor = static_cast<std::uint8_t *>(buf);
     sim::TimeNs latency = 0;
     std::uint64_t remaining = len;

@@ -78,6 +78,27 @@ class Device
     /** Total faulted DMA attempts by this device. */
     std::uint64_t faultedDmas() const { return faultedDmas_; }
 
+    // ---- Hot-plug lifecycle ----------------------------------------
+
+    /** Whether the device is present on the bus. */
+    bool attached() const { return attached_; }
+
+    /**
+     * Surprise hot-unplug: the device vanishes mid-operation.  Every
+     * later DMA aborts immediately (master-abort on the bus) without
+     * touching the IOMMU.  The domain itself is torn down separately
+     * via Iommu::detachDomain() once the driver has drained.
+     */
+    void
+    unplug()
+    {
+        attached_ = false;
+        ctx_.stats.add("dma.unplugs");
+    }
+
+    /** Re-seat the device after a drain + detach cycle completed. */
+    void replug() { attached_ = true; }
+
   protected:
     DmaOutcome dmaAccess(sim::TimeNs now, iommu::Iova addr, void *buf,
                          std::uint64_t len, bool is_write);
@@ -89,6 +110,7 @@ class Device
     sim::NumaId numa_;
     iommu::DomainId domain_;
     std::uint64_t faultedDmas_ = 0;
+    bool attached_ = true;
 };
 
 } // namespace damn::dma

@@ -108,6 +108,30 @@ class DmaApi
 
     /** Force any batched invalidations out now (deferred scheme). */
     virtual void flushPending(sim::CpuCursor &) {}
+
+    // ---- Lifecycle / teardown --------------------------------------
+
+    /**
+     * Release every *long-lived* per-domain resource the scheme keeps
+     * for @p dev (shadow pools, deferred queues) so the domain can be
+     * detached with zero live mappings.  Per-buffer mappings the driver
+     * still holds are its own to unmap first.  Also flushes pending
+     * invalidations.
+     * @return 4 KiB mappings this call released.
+     */
+    virtual std::uint64_t
+    drainDomain(sim::CpuCursor &cpu, Device &dev)
+    {
+        (void)dev;
+        flushPending(cpu);
+        return 0;
+    }
+
+    /**
+     * IOVA pages the scheme has allocated and not yet freed, across all
+     * domains.  0 after every device drained — the audit's leak check.
+     */
+    virtual std::uint64_t outstandingIovas() const { return 0; }
 };
 
 } // namespace damn::dma

@@ -257,6 +257,7 @@ ShadowDmaApi::poolAlloc(sim::CpuCursor &cpu, Device &dev,
         poolFrames_ += 1u << order;
         const std::uint64_t block = mem::kPageSize << order;
         const iommu::Iova iova = iovaAlloc_.alloc(1u << order);
+        pool.blocks.emplace_back(pfn, iova);
         for (unsigned i = 0; i < (1u << order); ++i) {
             iommu_.mapPage(dev.domain(),
                            iova + std::uint64_t(i) * mem::kPageSize,
@@ -299,7 +300,7 @@ ShadowDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
         ctx_.stats.add("shadow.tx_copied_bytes", len);
     }
 
-    active_[buf.iova] = ActiveMap{buf, pa, len, dir};
+    active_[buf.iova] = ActiveMap{buf, pa, len, dir, dev.domain()};
     ctx_.stats.add("dma.map");
     return buf.iova;
 }
@@ -329,6 +330,52 @@ ShadowDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
     cpu.charge(ctx_.cost.shadowPoolOpNs);
     poolFree(dev, am.buf);
     ctx_.stats.add("dma.unmap");
+}
+
+std::uint64_t
+ShadowDmaApi::drainDomain(sim::CpuCursor &cpu, Device &dev)
+{
+    const iommu::DomainId d = dev.domain();
+    auto pit = pools_.find(d);
+    if (pit == pools_.end())
+        return 0;
+    Pool &pool = pit->second;
+
+    // In-flight maps die with the device: the data never arrives, so
+    // there is nothing to copy back — just drop the bookkeeping.  The
+    // shadow buffers return with their blocks below.
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second.domain == d) {
+            it = active_.erase(it);
+            ctx_.stats.add("shadow.aborted_maps");
+        } else {
+            ++it;
+        }
+    }
+
+    // Release every backing block: unmap the permanent PTEs, free the
+    // frames, recycle the IOVA range.
+    std::uint64_t released = 0;
+    constexpr unsigned kBlockOrder = 5;
+    constexpr unsigned kBlockPages = 1u << kBlockOrder;
+    for (const auto &[pfn, iova] : pool.blocks) {
+        cpu.charge(ctx_.cost.ptePerPageNs * kBlockPages);
+        for (unsigned i = 0; i < kBlockPages; ++i) {
+            const bool ok = iommu_.unmapPage(
+                d, iova + std::uint64_t(i) * mem::kPageSize);
+            assert(ok && "shadow pool PTE vanished");
+            (void)ok;
+        }
+        pageAlloc_.freePages(pfn, kBlockOrder);
+        iovaAlloc_.free(iova, kBlockPages);
+        poolFrames_ -= kBlockPages;
+        released += kBlockPages;
+    }
+    pool.blocks.clear();
+    pool.buckets.clear();
+    if (released > 0)
+        ctx_.stats.add("shadow.drained_pages", released);
+    return released;
 }
 
 // ---------------------------------------------------------------------

@@ -77,6 +77,12 @@ class MappedDmaApi : public DmaApi
     bool subpage() const override { return false; }
     bool zeroCopy() const override { return true; }
 
+    std::uint64_t
+    outstandingIovas() const override
+    {
+        return iovaAlloc_.outstanding();
+    }
+
   protected:
     /** Covering page count of a (pa, len) buffer. */
     static unsigned
@@ -179,6 +185,19 @@ class ShadowDmaApi : public DmaApi
     /** Frames pinned by shadow pools (all devices). */
     std::uint64_t poolFrames() const { return poolFrames_; }
 
+    /**
+     * Teardown: abort in-flight shadow maps for @p dev's domain, unmap
+     * and free every pool block, and release the IOVAs.  The pool is
+     * rebuilt lazily on the next map() after a replug.
+     */
+    std::uint64_t drainDomain(sim::CpuCursor &cpu, Device &dev) override;
+
+    std::uint64_t
+    outstandingIovas() const override
+    {
+        return iovaAlloc_.outstanding();
+    }
+
   private:
     struct ShadowBuf
     {
@@ -193,12 +212,15 @@ class ShadowDmaApi : public DmaApi
         mem::Pa origPa;
         std::uint32_t len;
         Dir dir;
+        iommu::DomainId domain;
     };
 
     /** Per-device shadow pool: permanently-mapped, bucketed free lists. */
     struct Pool
     {
         std::vector<std::vector<ShadowBuf>> buckets;
+        /** Backing order-5 blocks: (first frame, base IOVA). */
+        std::vector<std::pair<mem::Pfn, iommu::Iova>> blocks;
     };
 
     static unsigned bucketFor(std::uint32_t len);

@@ -19,6 +19,8 @@ faultReasonName(FaultReason r)
         return "quarantined";
       case FaultReason::Injected:
         return "injected";
+      case FaultReason::Detached:
+        return "detached";
     }
     return "?";
 }
@@ -48,6 +50,12 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
     if (!enabled_) {
         r.ok = true;
         r.pa = iova; // identity: DMA address == physical address
+        return r;
+    }
+
+    if (detached_.at(d)) {
+        r.fault = true;
+        recordFault(d, iova, is_write, FaultReason::Detached);
         return r;
     }
 

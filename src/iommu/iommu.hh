@@ -49,6 +49,15 @@ enum class FaultReason : std::uint8_t
     Permission,  //!< mapping exists but lacks the access right
     Quarantined, //!< the domain is quarantined after repeated faults
     Injected,    //!< forced by the fault injector (transient HW fault)
+    Detached,    //!< the domain was detached (device torn down)
+};
+
+/** What a MapObserver is being told about. */
+enum class MapEvent : std::uint8_t
+{
+    Map,         //!< @p pages mappings were installed at @p iova
+    Unmap,       //!< @p pages mappings at @p iova were removed
+    DetachClear, //!< detachDomain() dropped the domain's whole table
 };
 
 const char *faultReasonName(FaultReason r);
@@ -155,6 +164,9 @@ class Iommu
 {
   public:
     using FaultCallback = std::function<void(const FaultRecord &)>;
+    /** Observer of page-table mutations (the audit ledger hook). */
+    using MapObserver =
+        std::function<void(MapEvent, DomainId, Iova, unsigned pages)>;
 
     /** Default fault-log capacity (VT-d exposes a small register file;
      *  we model a driver-side bounded ring). */
@@ -181,6 +193,7 @@ class Iommu
         domains_.push_back(std::make_unique<IoPageTable>());
         domainFaults_.push_back(0);
         quarantined_.push_back(false);
+        detached_.push_back(false);
         return DomainId(domains_.size() - 1);
     }
 
@@ -197,8 +210,10 @@ class Iommu
     mapPage(DomainId d, Iova iova, mem::Pa pa, std::uint32_t perm)
     {
         const bool ok = pageTable(d).map(iova, pa, perm);
-        if (ok)
+        if (ok) {
             noteMapped(pa, 1);
+            notifyObserver(MapEvent::Map, d, iova, 1);
+        }
         return ok;
     }
 
@@ -206,7 +221,10 @@ class Iommu
     bool
     unmapPage(DomainId d, Iova iova)
     {
-        return pageTable(d).unmap(iova);
+        const bool ok = pageTable(d).unmap(iova);
+        if (ok)
+            notifyObserver(MapEvent::Unmap, d, iova, 1);
+        return ok;
     }
 
     /** Map a 2 MiB block. */
@@ -214,8 +232,10 @@ class Iommu
     mapHuge(DomainId d, Iova iova, mem::Pa pa, std::uint32_t perm)
     {
         const bool ok = pageTable(d).mapHuge(iova, pa, perm);
-        if (ok)
+        if (ok) {
             noteMapped(pa, 512);
+            notifyObserver(MapEvent::Map, d, iova, 512);
+        }
         return ok;
     }
 
@@ -299,6 +319,48 @@ class Iommu
         iotlb_.invalidateDomain(d);
     }
 
+    // ---- Device lifecycle ------------------------------------------
+
+    /** Install the page-table-mutation observer (see damn::audit). */
+    void onMapChange(MapObserver cb) { mapObserver_ = std::move(cb); }
+
+    bool detached(DomainId d) const { return detached_.at(d); }
+
+    /**
+     * Tear down a detached/unplugged device's domain: drop its whole
+     * I/O page table, flush its IOTLB entries (direct hardware flush —
+     * teardown invalidation is modeled as guaranteed, not injectable),
+     * and fault every later DMA with FaultReason::Detached.
+     *
+     * Drivers are expected to have unmapped everything *before* this;
+     * the return value counts the 4 KiB-equivalent pages the teardown
+     * had to force-clear — 0 when the drain above was complete, and
+     * anything else is a leak the audit layer flags.
+     */
+    std::uint64_t
+    detachDomain(DomainId d)
+    {
+        const std::uint64_t leaked = domains_.at(d)->mappedPages();
+        domains_.at(d) = std::make_unique<IoPageTable>();
+        iotlb_.invalidateDomain(d);
+        detached_.at(d) = true;
+        notifyObserver(MapEvent::DetachClear, d, 0, 0);
+        return leaked;
+    }
+
+    /**
+     * Re-attach after a replug: fresh (empty) domain state, fault
+     * count zeroed, quarantine lifted.  The page table is whatever
+     * detachDomain() left — empty.
+     */
+    void
+    attachDomain(DomainId d)
+    {
+        detached_.at(d) = false;
+        quarantined_.at(d) = false;
+        domainFaults_.at(d) = 0;
+    }
+
   private:
     void
     noteMapped(mem::Pa pa, unsigned pages)
@@ -306,6 +368,13 @@ class Iommu
         const mem::Pfn pfn = mem::paToPfn(pa);
         for (unsigned i = 0; i < pages; ++i)
             everMapped_.insert(pfn + i);
+    }
+
+    void
+    notifyObserver(MapEvent ev, DomainId d, Iova iova, unsigned pages)
+    {
+        if (mapObserver_)
+            mapObserver_(ev, d, iova, pages);
     }
 
     void recordFault(DomainId d, Iova iova, bool is_write,
@@ -321,6 +390,8 @@ class Iommu
     std::uint64_t faults_ = 0;
     std::vector<std::uint64_t> domainFaults_;
     std::vector<bool> quarantined_;
+    std::vector<bool> detached_;
+    MapObserver mapObserver_;
     std::uint64_t quarantineThreshold_ = 0;
     std::size_t faultLogCap_ = kDefaultFaultLogCapacity;
     std::vector<FaultRecord> faultLog_;

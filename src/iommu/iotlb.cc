@@ -149,4 +149,15 @@ Iotlb::invalidateAll()
             e.valid = false;
 }
 
+std::vector<TlbEntry>
+Iotlb::validEntries(DomainId domain) const
+{
+    std::vector<TlbEntry> out;
+    for (const auto *bank : {&bank4k_, &bank2m_})
+        for (const TlbEntry &e : *bank)
+            if (e.valid && e.domain == domain)
+                out.push_back(e);
+    return out;
+}
+
 } // namespace damn::iommu

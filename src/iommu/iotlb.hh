@@ -78,6 +78,14 @@ class Iotlb
     /** Invalidate the whole IOTLB (global flush). */
     void invalidateAll();
 
+    /**
+     * Snapshot of every valid entry cached for @p domain (both banks).
+     * Audit/teardown path only — linear scan, not charged any cost.
+     * After a domain invalidation this must be empty; anything else is
+     * a stale translation keeping freed memory device-reachable.
+     */
+    std::vector<TlbEntry> validEntries(DomainId domain) const;
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t invalidations() const { return invalidations_; }

@@ -45,6 +45,7 @@ class IovaAllocator
     alloc(unsigned pages)
     {
         assert(pages > 0);
+        outstanding_ += pages;
         auto &bucket = freeLists_[pages];
         if (!bucket.empty()) {
             const Iova iova = bucket.back();
@@ -63,6 +64,8 @@ class IovaAllocator
     void
     free(Iova iova, unsigned pages)
     {
+        assert(outstanding_ >= pages && "double free of IOVA range");
+        outstanding_ -= pages;
         freeLists_[pages].push_back(iova);
     }
 
@@ -70,12 +73,15 @@ class IovaAllocator
     std::uint64_t fresh() const { return fresh_; }
     /** High-water mark of the IOVA space, bytes. */
     std::uint64_t spaceUsed() const { return next_ - kIovaBase; }
+    /** Pages currently allocated and not yet freed (leak detector). */
+    std::uint64_t outstanding() const { return outstanding_; }
 
   private:
     Iova next_ = kIovaBase;
     std::map<unsigned, std::vector<Iova>> freeLists_;
     std::uint64_t recycled_ = 0;
     std::uint64_t fresh_ = 0;
+    std::uint64_t outstanding_ = 0;
 };
 
 } // namespace damn::iommu

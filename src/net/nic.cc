@@ -51,10 +51,31 @@ NicDevice::dropSegment(sim::TimeNs now, unsigned port, Traffic dir,
     return out;
 }
 
+bool
+NicDevice::linkFlapped(sim::TimeNs now, unsigned port)
+{
+    // An injected flap takes the link down for a fixed window; every
+    // segment that meets the downed link is lost on the wire.
+    if (ctx_.faults.shouldFail(sim::FaultSite::NicLinkFlap)) {
+        ports_[port].linkDownUntil =
+            std::max(ports_[port].linkDownUntil,
+                     now + ctx_.cost.nicLinkFlapDownNs);
+        ++linkFlaps_;
+        ctx_.stats.add("nic.link_flaps");
+    }
+    if (now < ports_[port].linkDownUntil) {
+        ctx_.stats.add("nic.link_down_drops");
+        return true;
+    }
+    return false;
+}
+
 dma::DmaOutcome
 NicDevice::transferSegment(sim::TimeNs now, unsigned port, Traffic dir,
                            iommu::Iova dma_addr, std::uint32_t seg_bytes)
 {
+    if (linkFlapped(now, port))
+        return dropSegment(now, port, dir, seg_bytes);
     if (ctx_.faults.shouldFail(dir == Traffic::Rx
                                    ? sim::FaultSite::NicRx
                                    : sim::FaultSite::NicTx))
@@ -73,7 +94,8 @@ NicDevice::transferSegmentSg(
     sim::TimeNs now, unsigned port, Traffic dir,
     const std::vector<std::pair<iommu::Iova, std::uint32_t>> &sg)
 {
-    if (ctx_.faults.shouldFail(dir == Traffic::Rx
+    if (linkFlapped(now, port) ||
+        ctx_.faults.shouldFail(dir == Traffic::Rx
                                    ? sim::FaultSite::NicRx
                                    : sim::FaultSite::NicTx)) {
         std::uint32_t seg_bytes = 0;

@@ -63,6 +63,15 @@ class NicDevice : public dma::Device
         sim::TimeNs now, unsigned port, Traffic dir,
         const std::vector<std::pair<iommu::Iova, std::uint32_t>> &sg);
 
+    /** True while @p port 's link is down after an injected flap. */
+    bool
+    linkDown(unsigned port, sim::TimeNs now) const
+    {
+        return now < ports_[port].linkDownUntil;
+    }
+
+    std::uint64_t linkFlaps() const { return linkFlaps_; }
+
     /** Wire bytes of a @p seg_bytes aggregate (frames + overhead). */
     std::uint64_t
     wireBytes(std::uint32_t seg_bytes) const
@@ -77,16 +86,20 @@ class NicDevice : public dma::Device
     struct Port
     {
         sim::SerialResource wire[2]; // indexed by Traffic
+        sim::TimeNs linkDownUntil = 0; //!< link-flap outage end
     };
 
     sim::TimeNs pace(sim::TimeNs now, unsigned port, Traffic dir,
                      std::uint32_t seg_bytes, sim::TimeNs dma_latency);
     dma::DmaOutcome dropSegment(sim::TimeNs now, unsigned port,
                                 Traffic dir, std::uint32_t seg_bytes);
+    /** Link-flap injection + down-window check; true => drop. */
+    bool linkFlapped(sim::TimeNs now, unsigned port);
 
     System &sys_;
     std::vector<Port> ports_;
     sim::SerialResource pcie_[2]; // per direction, shared by both ports
+    std::uint64_t linkFlaps_ = 0;
 };
 
 } // namespace damn::net

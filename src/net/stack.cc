@@ -21,6 +21,13 @@ NicDriver::allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
     buf.seg.len = bytes;
     buf.seg.dmaDir = dma::Dir::FromDevice;
 
+    // Injected memory pressure: the allocation fails before any
+    // allocator is consulted, like a failed GFP_ATOMIC alloc.
+    if (sys_.ctx.faults.shouldFail(sim::FaultSite::PageAlloc)) {
+        sys_.ctx.stats.add("mem.injected_alloc_fails");
+        return buf;
+    }
+
     unsigned order = 0;
     while ((mem::kPageSize << order) < bytes)
         ++order;
@@ -29,14 +36,16 @@ NicDriver::allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
         // dma_alloc_skb flavor: buffer comes from DAMN, device-writable.
         const mem::Pfn pfn = sys_.damn->damnAllocPages(
             cpu, &nic_, core::Rights::Write, order, actx);
-        assert(pfn != mem::kInvalidPfn);
+        if (pfn == mem::kInvalidPfn)
+            return buf;
         buf.seg.pa = mem::pfnToPa(pfn);
         buf.seg.owner = SegOwner::Damn;
     } else {
         cpu.charge(sys_.ctx.cost.pageAllocNs);
         const mem::Pfn pfn =
             sys_.pageAlloc.allocPages(order, cpu.numa());
-        assert(pfn != mem::kInvalidPfn);
+        if (pfn == mem::kInvalidPfn)
+            return buf;
         buf.seg.pa = mem::pfnToPa(pfn);
         buf.seg.owner = SegOwner::Pages;
         buf.seg.pageOrder = std::uint8_t(order);
@@ -65,6 +74,23 @@ NicDriver::rxBuild(sim::CpuCursor &cpu, RxBuffer buf,
     buf.seg.len = actual_len;
     skb.append(buf.seg);
     return skb;
+}
+
+void
+NicDriver::abortRxBuffer(sim::CpuCursor &cpu, RxBuffer buf,
+                         core::AllocCtx actx)
+{
+    if (!buf.seg.dmaMapped)
+        return;
+    sys_.dmaApi->unmap(cpu, nic_, buf.seg.dmaAddr, buf.seg.dmaLen,
+                       dma::Dir::FromDevice);
+    buf.seg.dmaMapped = false;
+
+    SkBuff skb;
+    skb.dev = &nic_;
+    skb.append(buf.seg);
+    sys_.accessor().freeSkb(cpu, skb, actx);
+    sys_.ctx.stats.add("net.rx_aborted_buffers");
 }
 
 void
@@ -268,6 +294,14 @@ TcpStack::txComplete(sim::CpuCursor &cpu, SkBuff &skb, double factor,
                                   c.driverPerBufferNs) * factor));
     driver.txUnmap(cpu, skb);
     sys_.accessor().freeSkb(cpu, skb, actx);
+}
+
+void
+TcpStack::txAbort(sim::CpuCursor &cpu, SkBuff &skb, core::AllocCtx actx)
+{
+    driver.txUnmap(cpu, skb);
+    sys_.accessor().freeSkb(cpu, skb, actx);
+    sys_.ctx.stats.add("net.tx_aborted_segments");
 }
 
 } // namespace damn::net

@@ -31,6 +31,9 @@ namespace damn::net {
 struct RxBuffer
 {
     SkbSegment seg;
+
+    /** False when allocation failed (memory pressure). */
+    bool valid() const { return seg.dmaMapped; }
 };
 
 /** Netfilter callback: may inspect the packet through the accessor. */
@@ -49,7 +52,10 @@ class NicDriver
      * Allocate and DMA-map one receive buffer of @p bytes.
      * Allocation flavor follows the deployment: DAMN systems use
      * damn_alloc_pages(dev, WRITE); others use the stock page
-     * allocator + dma_map.
+     * allocator + dma_map.  Under memory pressure (genuine exhaustion
+     * or an injected mem.page_alloc fault) the returned buffer is
+     * !valid() and the caller must retry later, as the kernel's RX
+     * refill path does.
      */
     RxBuffer allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
                            core::AllocCtx actx = core::AllocCtx::Interrupt);
@@ -57,6 +63,14 @@ class NicDriver
     /** Completion: dma_unmap the buffer and wrap it in an skb. */
     SkBuff rxBuild(sim::CpuCursor &cpu, RxBuffer buf,
                    std::uint32_t actual_len);
+
+    /**
+     * Teardown path: unmap a posted-but-never-completed buffer and
+     * free its memory (ring teardown after an unplug).  The data never
+     * arrived, so no skb is delivered.
+     */
+    void abortRxBuffer(sim::CpuCursor &cpu, RxBuffer buf,
+                       core::AllocCtx actx = core::AllocCtx::Interrupt);
 
     /** Map every segment of a TX skb (scatter-gather). */
     void txMap(sim::CpuCursor &cpu, SkBuff &skb);
@@ -117,6 +131,14 @@ class TcpStack
     /** TX completion: unmap + free. */
     void txComplete(sim::CpuCursor &cpu, SkBuff &skb, double factor,
                     core::AllocCtx actx = core::AllocCtx::Standard);
+
+    /**
+     * TX abort: the segment will never complete (device unplugged or
+     * retry budget exhausted) — unmap and free without completion-path
+     * accounting, so the mapping is not leaked.
+     */
+    void txAbort(sim::CpuCursor &cpu, SkBuff &skb,
+                 core::AllocCtx actx = core::AllocCtx::Standard);
 
     /**
      * Zero-copy transmit (sendfile / zero-copy forwarding, paper

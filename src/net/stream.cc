@@ -23,11 +23,22 @@ StreamEngine::startFlow(std::size_t fi)
     State &f = flows_[fi];
     if (f.spec.kind == Traffic::Rx) {
         // Post the initial ring of receive buffers from the flow's core
-        // (driver probe path), then let the peer stream.
+        // (driver probe path), then let the peer stream.  Buffers the
+        // allocator cannot produce (memory pressure) are retried like
+        // any ring refill.
         sim::CpuCursor cpu(sys_.ctx.machine.core(f.spec.core), 0);
-        for (unsigned i = 0; i < f.spec.window; ++i)
-            f.posted.push_back(
-                stack_.driver.allocRxBuffer(cpu, f.spec.segBytes));
+        for (unsigned i = 0; i < f.spec.window; ++i) {
+            RxBuffer buf =
+                stack_.driver.allocRxBuffer(cpu, f.spec.segBytes);
+            if (buf.valid()) {
+                f.posted.push_back(buf);
+            } else {
+                sys_.ctx.stats.add("net.rx_refill_fails");
+                sys_.ctx.engine.schedule(
+                    cpu.time + f.spec.rtoNs,
+                    [this, fi] { refillRx(fi); });
+            }
+        }
         pumpRx(fi);
     } else {
         pumpTx(fi);
@@ -35,9 +46,36 @@ StreamEngine::startFlow(std::size_t fi)
 }
 
 void
+StreamEngine::refillRx(std::size_t fi)
+{
+    State &f = flows_[fi];
+    if (tornDown_ || f.failed)
+        return;
+    sim::CpuCursor cpu(sys_.ctx.machine.core(f.spec.core),
+                       sys_.ctx.now());
+    RxBuffer buf = stack_.driver.allocRxBuffer(
+        cpu, f.spec.segBytes, core::AllocCtx::Interrupt);
+    if (!buf.valid()) {
+        // Still under pressure: try again after a timeout, as the
+        // kernel's ring-refill work item does.
+        sys_.ctx.stats.add("net.rx_refill_fails");
+        sys_.ctx.engine.schedule(cpu.time + f.spec.rtoNs,
+                                 [this, fi] { refillRx(fi); });
+        return;
+    }
+    f.posted.push_back(buf);
+    if (f.generatorStalled) {
+        f.generatorStalled = false;
+        sys_.ctx.engine.schedule(cpu.time, [this, fi] { pumpRx(fi); });
+    }
+}
+
+void
 StreamEngine::pumpRx(std::size_t fi)
 {
     State &f = flows_[fi];
+    if (tornDown_ || f.failed)
+        return;
     if (f.posted.empty()) {
         // Lossless flow control: the peer pauses until buffers are
         // reposted.
@@ -57,6 +95,13 @@ StreamEngine::pumpRx(std::size_t fi)
         // timeout; give up (flow failed) once the budget is exhausted.
         ++f.drops;
         f.posted.push_front(buf);
+        if (!nic_.attached()) {
+            // Surprise unplug: no retransmit will ever land.  Fail the
+            // flow immediately; the posted ring (including this
+            // buffer) is recovered by teardown().
+            f.failed = true;
+            return;
+        }
         ++f.rxRetries;
         if (f.rxRetries > f.spec.maxRetries) {
             f.failed = true;
@@ -72,6 +117,7 @@ StreamEngine::pumpRx(std::size_t fi)
     }
     f.rxRetries = 0;
 
+    ++f.rxInflight;
     sys_.ctx.engine.schedule(out.completes, [this, fi, buf, now] {
         rxProcess(fi, buf, now);
     });
@@ -85,8 +131,19 @@ StreamEngine::rxProcess(std::size_t fi, RxBuffer buf,
                         sim::TimeNs started)
 {
     State &f = flows_[fi];
+    assert(f.rxInflight > 0);
+    --f.rxInflight;
     sim::CpuCursor cpu(sys_.ctx.machine.core(f.spec.core),
                        sys_.ctx.now());
+
+    if (tornDown_) {
+        // The ring is gone: complete the buffer with error instead of
+        // delivering data up a dead stack.
+        stack_.driver.abortRxBuffer(cpu, buf,
+                                    core::AllocCtx::Interrupt);
+        ++abortedSegments_;
+        return;
+    }
 
     SkBuff skb = stack_.driver.rxBuild(cpu, buf, f.spec.segBytes);
 
@@ -94,11 +151,21 @@ StreamEngine::rxProcess(std::size_t fi, RxBuffer buf,
     // eagerly); the freed buffer below therefore goes back to the page
     // allocator where *any* consumer may claim it before the next
     // refill -- the behaviour figure 9 measures on stock kernels.
-    f.posted.push_back(stack_.driver.allocRxBuffer(
-        cpu, f.spec.segBytes, core::AllocCtx::Interrupt));
-    if (f.generatorStalled) {
-        f.generatorStalled = false;
-        sys_.ctx.engine.schedule(cpu.time, [this, fi] { pumpRx(fi); });
+    RxBuffer refill = stack_.driver.allocRxBuffer(
+        cpu, f.spec.segBytes, core::AllocCtx::Interrupt);
+    if (refill.valid()) {
+        f.posted.push_back(refill);
+        if (f.generatorStalled) {
+            f.generatorStalled = false;
+            sys_.ctx.engine.schedule(cpu.time,
+                                     [this, fi] { pumpRx(fi); });
+        }
+    } else {
+        // Memory pressure: retry the refill later; the peer stalls on
+        // flow control if the ring runs dry meanwhile.
+        sys_.ctx.stats.add("net.rx_refill_fails");
+        sys_.ctx.engine.schedule(cpu.time + f.spec.rtoNs,
+                                 [this, fi] { refillRx(fi); });
     }
 
     stack_.rxSegment(cpu, skb, config_.costFactor);
@@ -120,6 +187,8 @@ void
 StreamEngine::pumpTx(std::size_t fi)
 {
     State &f = flows_[fi];
+    if (tornDown_ || f.failed)
+        return;
     if (f.txInflight >= f.spec.window) {
         f.appStalled = true;
         return;
@@ -146,16 +215,35 @@ StreamEngine::txSend(std::size_t fi, std::shared_ptr<SkBuff> skb,
                      unsigned attempt)
 {
     State &f = flows_[fi];
+
+    // Abort the in-flight segment: complete with error (unmap + free,
+    // so the mapping does not leak) and retire the ring credit.
+    const auto abort_tx = [&](sim::TimeNs at) {
+        sim::CpuCursor cpu(sys_.ctx.machine.core(f.spec.core), at);
+        stack_.txAbort(cpu, *skb, core::AllocCtx::Standard);
+        ++abortedSegments_;
+        assert(f.txInflight > 0);
+        --f.txInflight;
+    };
+
+    if (tornDown_) {
+        abort_tx(when);
+        return;
+    }
+
     const dma::DmaOutcome out = nic_.transferSegmentSg(
         when, f.spec.port, Traffic::Tx, stack_.driver.sgOf(*skb));
     if (out.fault) {
-        // The skb stays mapped; the retransmission timer fires with
-        // exponential backoff until the retry budget runs out.
         ++f.drops;
-        if (attempt > f.spec.maxRetries) {
+        if (!nic_.attached() || attempt > f.spec.maxRetries) {
+            // Unplugged or out of budget: the segment will never make
+            // it.  Error-complete it so nothing stays mapped.
             f.failed = true;
+            abort_tx(out.completes);
             return;
         }
+        // The skb stays mapped; the retransmission timer fires with
+        // exponential backoff until the retry budget runs out.
         ++f.retransmits;
         const unsigned shift = std::min(attempt - 1, 16u);
         const sim::TimeNs retry_at =
@@ -190,10 +278,32 @@ StreamEngine::txDone(std::size_t fi, std::shared_ptr<SkBuff> skb,
 
     assert(f.txInflight > 0);
     --f.txInflight;
-    if (f.appStalled) {
+    if (f.appStalled && !tornDown_ && !f.failed) {
         f.appStalled = false;
         sys_.ctx.engine.schedule(cpu.time, [this, fi] { pumpTx(fi); });
     }
+}
+
+void
+StreamEngine::teardown(sim::CpuCursor &cpu)
+{
+    if (tornDown_)
+        return;
+    tornDown_ = true;
+    for (State &f : flows_) {
+        // Ring teardown: every posted (never-completed) buffer is
+        // unmapped and freed.  In-flight segments abort as their
+        // events fire; run the engine forward and check quiesced().
+        while (!f.posted.empty()) {
+            stack_.driver.abortRxBuffer(cpu, f.posted.front(),
+                                        core::AllocCtx::Interrupt);
+            ++abortedSegments_;
+            f.posted.pop_front();
+        }
+        f.generatorStalled = false;
+        f.appStalled = false;
+    }
+    sys_.ctx.stats.add("net.ring_teardowns");
 }
 
 StreamResult

@@ -111,6 +111,59 @@ class StreamEngine
             startFlow(fi);
     }
 
+    /**
+     * Ring teardown (device removal): stop every flow, unmap and free
+     * all posted RX buffers, and let in-flight work abort as its
+     * events fire.  Run the engine forward afterwards, then check
+     * quiesced().  The engine object must stay alive until the
+     * simulation no longer holds events that reference it.
+     */
+    void teardown(sim::CpuCursor &cpu);
+
+    /** True when no RX/TX segment or posted buffer is outstanding. */
+    bool
+    quiesced() const
+    {
+        for (const State &f : flows_)
+            if (f.txInflight != 0 || f.rxInflight != 0 ||
+                !f.posted.empty())
+                return false;
+        return true;
+    }
+
+    bool tornDown() const { return tornDown_; }
+    /** Segments/buffers completed-with-error during teardown. */
+    std::uint64_t abortedSegments() const { return abortedSegments_; }
+
+    // Live recovery accounting, for callers that drive the engine
+    // themselves via startAll() and never get a StreamResult.
+    std::uint64_t
+    totalDrops() const
+    {
+        std::uint64_t n = 0;
+        for (const State &f : flows_)
+            n += f.drops;
+        return n;
+    }
+
+    std::uint64_t
+    totalRetransmits() const
+    {
+        std::uint64_t n = 0;
+        for (const State &f : flows_)
+            n += f.retransmits;
+        return n;
+    }
+
+    unsigned
+    failedFlows() const
+    {
+        unsigned n = 0;
+        for (const State &f : flows_)
+            n += f.failed ? 1 : 0;
+        return n;
+    }
+
   private:
     struct State
     {
@@ -119,6 +172,7 @@ class StreamEngine
         FlowSpec spec;
         std::deque<RxBuffer> posted; //!< RX: buffers owned by the NIC
         unsigned txInflight = 0;
+        unsigned rxInflight = 0;     //!< segments between DMA and stack
         bool generatorStalled = false;
         bool appStalled = false;
         std::uint64_t segments = 0;  //!< counted inside the window
@@ -132,6 +186,7 @@ class StreamEngine
     void startFlow(std::size_t fi);
     void pumpRx(std::size_t fi);
     void rxProcess(std::size_t fi, RxBuffer buf, sim::TimeNs started);
+    void refillRx(std::size_t fi);
     void pumpTx(std::size_t fi);
     void txSend(std::size_t fi, std::shared_ptr<SkBuff> skb,
                 sim::TimeNs when, sim::TimeNs started, unsigned attempt);
@@ -147,6 +202,8 @@ class StreamEngine
     sim::LatencyHistogram latency_;
     sim::TimeNs windowStart_ = 0;
     sim::TimeNs windowEnd_ = 0;
+    bool tornDown_ = false;
+    std::uint64_t abortedSegments_ = 0;
 };
 
 } // namespace damn::net

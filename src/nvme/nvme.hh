@@ -22,6 +22,7 @@ namespace damn::nvme {
 struct NvmeCmdResult
 {
     bool ok = false;
+    bool aborted = false;        //!< device unplugged; no point retrying
     unsigned attempts = 0;       //!< total device-side submissions
     unsigned timeouts = 0;       //!< attempts that timed out
     sim::TimeNs completes = 0;   //!< success or final-failure time
@@ -86,12 +87,29 @@ class NvmeDevice : public dma::Device
         sim::TimeNs t = now;
         for (unsigned attempt = 0; attempt <= c.nvmeMaxRetries;
              ++attempt) {
+            if (!attached()) {
+                // Surprise unplug: the driver sees the controller gone
+                // and aborts instead of burning the timeout budget.
+                r.aborted = true;
+                ++abortedCmds_;
+                ctx_.stats.add("nvme.aborted_cmds");
+                r.completes = t;
+                return r;
+            }
             ++r.attempts;
             const dma::DmaOutcome out = readIo(t, dma_addr, bytes);
             if (!out.fault) {
                 r.ok = true;
                 r.completes = out.completes;
                 r.bytesDone = out.bytesDone;
+                return r;
+            }
+            if (!attached()) {
+                // The fault *was* the unplug; abort without waiting.
+                r.aborted = true;
+                ++abortedCmds_;
+                ctx_.stats.add("nvme.aborted_cmds");
+                r.completes = out.completes;
                 return r;
             }
             ++r.timeouts;
@@ -108,6 +126,7 @@ class NvmeDevice : public dma::Device
     std::uint64_t cmdDrops() const { return cmdDrops_; }
     std::uint64_t timeouts() const { return timeouts_; }
     std::uint64_t failedCmds() const { return failedCmds_; }
+    std::uint64_t abortedCmds() const { return abortedCmds_; }
 
   private:
     sim::SerialResource iopsEngine_;
@@ -116,6 +135,7 @@ class NvmeDevice : public dma::Device
     std::uint64_t cmdDrops_ = 0;
     std::uint64_t timeouts_ = 0;
     std::uint64_t failedCmds_ = 0;
+    std::uint64_t abortedCmds_ = 0;
 };
 
 } // namespace damn::nvme

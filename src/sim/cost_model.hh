@@ -210,6 +210,10 @@ struct CostModel
     unsigned perFrameOverheadBytes = 90;
     /** MTU (jumbo frames), bytes. */
     unsigned mtuBytes = 9000;
+    /** How long a port stays down after an injected link flap, ns.
+     *  Real flaps are ms-scale; shortened (like nvmeTimeoutNs) so
+     *  recovery is observable inside millisecond-scale runs. */
+    TimeNs nicLinkFlapDownNs = 50 * kNsPerUs;
 
     // ---- NVMe -------------------------------------------------------
     /** Device IOPS ceiling (Intel DC P3700 400G: ~900k read IOPS). */

@@ -33,9 +33,12 @@ enum class FaultSite : unsigned
     NicTx,        //!< NIC transmit segment DMA
     NvmeCmd,      //!< NVMe command execution
     IommuInval,   //!< IOTLB invalidation command
+    DeviceUnplug, //!< surprise hot-unplug, checked per device DMA
+    NicLinkFlap,  //!< transient link-down event on a NIC port
+    PageAlloc,    //!< OS page-allocation failure (memory pressure)
 };
 
-constexpr unsigned kNumFaultSites = 5;
+constexpr unsigned kNumFaultSites = 8;
 
 inline const char *
 faultSiteName(FaultSite s)
@@ -51,6 +54,12 @@ faultSiteName(FaultSite s)
         return "nvme.cmd";
       case FaultSite::IommuInval:
         return "iommu.inval";
+      case FaultSite::DeviceUnplug:
+        return "device.unplug";
+      case FaultSite::NicLinkFlap:
+        return "nic.link_flap";
+      case FaultSite::PageAlloc:
+        return "mem.page_alloc";
     }
     return "?";
 }
@@ -141,7 +150,19 @@ class FaultInjector
         return t;
     }
 
-    /** Disarm and clear all probabilities, schedules and statistics. */
+    /**
+     * Disarm and clear all probabilities, schedules and statistics.
+     *
+     * Contract: reset() returns every per-site RNG stream to its
+     * *default-constructed* state — it does NOT re-derive streams from
+     * the old seed.  The streams stay in that indeterminate-for-
+     * injection state until the next enable(), which re-seeds all of
+     * them from its argument.  Consequently enable(s) → reset() →
+     * enable(s) reproduces the exact fault schedule of the first
+     * enable(s): determinism survives a reset, but only through a
+     * subsequent enable().  shouldFail() between reset() and enable()
+     * always returns false and advances no RNG state.
+     */
     void
     reset()
     {

@@ -17,10 +17,10 @@ using exp::Json;
 
 namespace {
 
-TEST(Registry, AllFifteenExperimentsRegistered)
+TEST(Registry, AllSixteenExperimentsRegistered)
 {
     const auto all = exp::allExperiments();
-    ASSERT_EQ(all.size(), 15u);
+    ASSERT_EQ(all.size(), 16u);
 
     std::set<std::string> names;
     for (const exp::Experiment *e : all) {
@@ -34,7 +34,8 @@ TEST(Registry, AllFifteenExperimentsRegistered)
           "fig5_multicore", "fig6_membw", "fig7_memcached",
           "fig8_tocttou", "fig9_stock_pages", "fig10_memory",
           "fig11_nvme", "table1_matrix", "table3_variants",
-          "latency_profile", "micro_allocator", "fault_storm"})
+          "latency_profile", "micro_allocator", "fault_storm",
+          "chaos_soak"})
         EXPECT_NE(names.count(want), 0u) << want;
 }
 

@@ -108,6 +108,37 @@ TEST(FaultInjector, ResetClearsEverything)
     EXPECT_EQ(f.totalInjected(), 0u);
 }
 
+TEST(FaultInjector, EnableResetEnableReproducesSchedule)
+{
+    // The reset() contract: enable(s) -> reset() -> enable(s) must
+    // replay the exact fault schedule of the first enable(s), because
+    // enable() re-seeds every per-site stream from its argument.  The
+    // chaos soak leans on this to re-arm the storm every cycle.
+    const auto schedule = [](sim::FaultInjector &f) {
+        f.setProbability(sim::FaultSite::NicRx, 0.1);
+        f.setProbability(sim::FaultSite::NvmeCmd, 0.3);
+        std::vector<bool> s;
+        for (int i = 0; i < 2000; ++i) {
+            s.push_back(f.shouldFail(sim::FaultSite::NicRx));
+            s.push_back(f.shouldFail(sim::FaultSite::NvmeCmd));
+        }
+        return s;
+    };
+
+    sim::FaultInjector f;
+    f.enable(31337);
+    const std::vector<bool> first = schedule(f);
+
+    f.reset();
+    // Between reset() and enable() the injector is disarmed: nothing
+    // fires, no counters move, no RNG state advances.
+    EXPECT_FALSE(f.shouldFail(sim::FaultSite::NicRx));
+    EXPECT_EQ(f.ops(sim::FaultSite::NicRx), 0u);
+
+    f.enable(31337);
+    EXPECT_EQ(schedule(f), first);
+}
+
 // ---------------------------------------------------------------------
 // IOMMU fault reporting
 // ---------------------------------------------------------------------
@@ -163,6 +194,30 @@ TEST_F(FaultIommuFixture, LogOverflowKeepsOldestEntries)
     mmu.clearFaultLog();
     EXPECT_TRUE(mmu.faultLog().empty());
     EXPECT_EQ(mmu.faultLogOverflows(), 0u);
+}
+
+TEST_F(FaultIommuFixture, LogOverflowAccountingResumesAfterClear)
+{
+    const iommu::DomainId d = mmu.createDomain();
+    mmu.setFaultLogCapacity(2);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_TRUE(
+            mmu.translate(d, 0x30000 + i * 0x1000, false).fault);
+    EXPECT_EQ(mmu.faultLog().size(), 2u);
+    EXPECT_EQ(mmu.faultLogOverflows(), 3u);
+
+    // clearFaultLog() models the driver draining the recording
+    // registers: the log refills from empty and the overflow counter
+    // restarts — it is per-drain accounting, not a lifetime total.
+    mmu.clearFaultLog();
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_TRUE(
+            mmu.translate(d, 0x40000 + i * 0x1000, false).fault);
+    EXPECT_EQ(mmu.faultLog().size(), 2u);
+    EXPECT_EQ(mmu.faultLogOverflows(), 1u);
+    EXPECT_EQ(mmu.faultLog().front().iova, 0x40000u);
+    // The aggregate counters keep the full history.
+    EXPECT_EQ(mmu.faults(), 8u);
 }
 
 TEST_F(FaultIommuFixture, CallbackFiresEvenPastOverflow)
