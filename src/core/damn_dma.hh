@@ -19,6 +19,7 @@
 
 #include "core/damn_allocator.hh"
 #include "dma/dma_api.hh"
+#include "sim/tracer.hh"
 
 namespace damn::core {
 
@@ -35,6 +36,9 @@ class DamnDmaApi : public dma::DmaApi
     map(sim::CpuCursor &cpu, dma::Device &dev, mem::Pa pa,
         std::uint32_t len, dma::Dir dir) override
     {
+        sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaMap,
+                            "dma.map");
+        span.bytes(len);
         cpu.charge(ctx_.cost.damnMapLookupNs);
         if (alloc_.isDamnBuffer(pa)) {
             // Long-lived mapping already exists; just look up the IOVA.
@@ -48,6 +52,9 @@ class DamnDmaApi : public dma::DmaApi
     unmap(sim::CpuCursor &cpu, dma::Device &dev, iommu::Iova dma_addr,
           std::uint32_t len, dma::Dir dir) override
     {
+        sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaUnmap,
+                            "dma.unmap");
+        span.bytes(len);
         cpu.charge(ctx_.cost.damnUnmapCheckNs);
         if (isDamnIova(dma_addr)) {
             // Nothing to tear down; the buffer is freed later by the

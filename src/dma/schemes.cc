@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/tracer.hh"
+
 namespace damn::dma {
 
 const char *
@@ -38,12 +40,18 @@ MappedDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
 {
     assert(len > 0);
     const unsigned pages = coveringPages(pa, len);
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaMap,
+                        "dma.map");
+    span.bytes(len);
+    span.aux(pages);
 
     // IOVA allocation: fast per-CPU cache, occasional slow rbtree path.
     cpu.charge(ctx_.cost.iovaAllocNs);
     if (ctx_.rng.chance(ctx_.cost.iovaSlowPathRate))
         cpu.charge(ctx_.cost.iovaAllocSlowNs);
     const iommu::Iova iova = iovaAlloc_.alloc(pages);
+    ctx_.tracer.instant(cpu.id(), sim::TraceCat::DmaMap,
+                        "dma.iova_alloc", cpu.time, 0, pages);
 
     // Write PTEs covering the buffer's pages.  Page granularity: data
     // co-located on those pages becomes device-accessible too.
@@ -88,19 +96,27 @@ void
 StrictDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
                     iommu::Iova dma_addr, std::uint32_t len, Dir)
 {
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaUnmap,
+                        "dma.unmap");
+    span.bytes(len);
     iommu::Iova iova_base;
     unsigned pages;
     clearPtes(cpu, dev, dma_addr, len, &iova_base, &pages);
 
-    // Synchronous IOTLB invalidation under the global queue lock; the
-    // full hardware round trip is spent holding it.
-    const sim::TimeNs done = iommu_.invalQueue().syncInvalidate(
-        *cpu.core, cpu.time, iommu_.iotlb(), dev.domain(), iova_base,
-        std::uint64_t(pages) * mem::kPageSize);
-    cpu.waitUntil(done);
-    // Pipelined invalidation engines: spin for the completion outside
-    // the submission lock.
-    cpu.charge(ctx_.cost.strictPostWaitNs);
+    {
+        // Synchronous IOTLB invalidation under the global queue lock;
+        // the full hardware round trip is spent holding it.
+        sim::TraceSpan inval(ctx_.tracer, cpu, sim::TraceCat::IommuInval,
+                             "iommu.sync_inval");
+        inval.aux(pages);
+        const sim::TimeNs done = iommu_.invalQueue().syncInvalidate(
+            *cpu.core, cpu.time, iommu_.iotlb(), dev.domain(), iova_base,
+            std::uint64_t(pages) * mem::kPageSize);
+        cpu.waitUntil(done);
+        // Pipelined invalidation engines: spin for the completion
+        // outside the submission lock.
+        cpu.charge(ctx_.cost.strictPostWaitNs);
+    }
 
     iovaAlloc_.free(iova_base, pages);
     ctx_.stats.add("dma.strict_invalidations");
@@ -112,6 +128,9 @@ StrictDmaApi::unmapBatch(sim::CpuCursor &cpu, Device &dev,
 {
     if (reqs.empty())
         return;
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaUnmap,
+                        "dma.unmap_batch");
+    span.aux(reqs.size());
     // Clear all PTEs, then pay for a single invalidate + wait round
     // trip covering every range (how dma_unmap_sg behaves).
     std::vector<std::pair<iommu::Iova, unsigned>> ranges;
@@ -121,11 +140,17 @@ StrictDmaApi::unmapBatch(sim::CpuCursor &cpu, Device &dev,
         unsigned pages;
         clearPtes(cpu, dev, r.dmaAddr, r.len, &base, &pages);
         ranges.emplace_back(base, pages);
+        span.bytes(r.len);
     }
-    cpu.time = iommu_.invalQueue().lock().acquireAndHold(
-        *cpu.core, cpu.time, ctx_.cost.strictInvalidateNs,
-        ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
-    cpu.charge(ctx_.cost.strictPostWaitNs);
+    {
+        sim::TraceSpan inval(ctx_.tracer, cpu, sim::TraceCat::IommuInval,
+                             "iommu.sync_inval");
+        inval.aux(ranges.size());
+        cpu.time = iommu_.invalQueue().lock().acquireAndHold(
+            *cpu.core, cpu.time, ctx_.cost.strictInvalidateNs,
+            ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
+        cpu.charge(ctx_.cost.strictPostWaitNs);
+    }
     for (const auto &[base, pages] : ranges) {
         iommu_.iotlb().invalidateRange(
             dev.domain(), base, std::uint64_t(pages) * mem::kPageSize);
@@ -142,6 +167,9 @@ void
 DeferredDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
                       iommu::Iova dma_addr, std::uint32_t len, Dir)
 {
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaUnmap,
+                        "dma.unmap");
+    span.bytes(len);
     iommu::Iova iova_base;
     unsigned pages;
     clearPtes(cpu, dev, dma_addr, len, &iova_base, &pages);
@@ -164,6 +192,9 @@ DeferredDmaApi::flushPending(sim::CpuCursor &cpu)
 {
     if (flushQueue_.empty())
         return;
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::IommuInval,
+                        "iommu.batched_flush");
+    span.aux(flushQueue_.size());
     // One hardware flush command, scoped to the domains with pending
     // unmaps: other domains' warm IOTLB entries must survive a
     // neighbour's deferred flush.
@@ -285,6 +316,9 @@ ShadowDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
                   std::uint32_t len, Dir dir)
 {
     assert(len > 0);
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaMap,
+                        "dma.map");
+    span.bytes(len);
     ShadowBuf buf = poolAlloc(cpu, dev, len);
 
     if (dir == Dir::ToDevice || dir == Dir::Bidirectional) {
@@ -292,6 +326,9 @@ ShadowDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
         // just written by the sender, so it is LLC-resident.
         // The destination shadow buffer is DRAM-cold, so the full
         // read+write traffic reaches the controllers.
+        sim::TraceSpan copy(ctx_.tracer, cpu, sim::TraceCat::Copy,
+                            "shadow.tx_copy");
+        copy.bytes(len);
         cpu.charge(ctx_.copyCost(
             cpu.time, len, ctx_.cost.shadowTxCopyBytesPerNs,
             std::uint64_t(2.0 * len * ctx_.cost.coldCopyMemFactor)));
@@ -315,10 +352,16 @@ ShadowDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
     active_.erase(it);
     assert(am.len == len);
     (void)len;
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::DmaUnmap,
+                        "dma.unmap");
+    span.bytes(am.len);
 
     if (dir == Dir::FromDevice || dir == Dir::Bidirectional) {
         // Copy inbound data out of the shadow buffer into the driver's
         // buffer — destination is a cold kmalloc()ed buffer.
+        sim::TraceSpan copy(ctx_.tracer, cpu, sim::TraceCat::Copy,
+                            "shadow.rx_copy");
+        copy.bytes(am.len);
         cpu.charge(ctx_.copyCost(
             cpu.time, am.len, ctx_.cost.coldCopyBytesPerNs,
             std::uint64_t(2.0 * am.len * ctx_.cost.coldCopyMemFactor)));

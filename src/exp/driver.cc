@@ -30,8 +30,11 @@ const char kUsage[] =
     "  --warmup-ms=N      override every experiment's warmup window\n"
     "  --measure-ms=N     override every experiment's measure window\n"
     "  --seed=N           base seed for stochastic experiments (42)\n"
-    "  --json=PATH        also write results as JSON (schema v1,\n"
+    "  --json=PATH        also write results as JSON (schema v2,\n"
     "                     documented in EXPERIMENTS.md; deterministic)\n"
+    "  --trace=PATH       record trace events and write a Chrome\n"
+    "                     trace-event JSON (chrome://tracing /\n"
+    "                     Perfetto; deterministic per seed)\n"
     "  --help             this text\n";
 
 bool
@@ -142,6 +145,12 @@ parseArgs(int argc, const char *const *argv, DriverOptions *opts,
                 return false;
             }
             opts->jsonPath = value;
+        } else if (key == "trace") {
+            if (value.empty()) {
+                *err = "--trace needs a path";
+                return false;
+            }
+            opts->tracePath = value;
         } else {
             *err = "unknown option: --" + key;
             return false;
@@ -181,6 +190,7 @@ runExperiments(const DriverOptions &opts)
                 opts.schemes,
                 opts.seed + rep,
                 out,
+                !opts.tracePath.empty(),
             };
             e->run(ctx);
             for (Run &run : out.take()) {
@@ -265,6 +275,27 @@ reportJson(const Report &report)
             for (const auto &[k, v] : run.stats)
                 stats.set(k, v);
             jr.set("stats", std::move(stats));
+            if (run.trace.hasData()) {
+                const sim::TraceBundle &tb = run.trace;
+                Json attr = Json::object();
+                attr.set("total_busy_ns", tb.totalBusyNs);
+                attr.set("total_cycles", tb.totalCycles);
+                attr.set("attributed_ns", tb.attributedNs);
+                attr.set("coverage_pct", tb.coveragePct());
+                attr.set("dropped_events", tb.droppedEvents);
+                Json cats = Json::object();
+                for (const sim::TraceBundle::Category &c :
+                     tb.categories) {
+                    Json jc = Json::object();
+                    jc.set("ns", c.ns);
+                    jc.set("cycles", c.cycles);
+                    jc.set("bytes", c.bytes);
+                    jc.set("events", c.events);
+                    cats.set(c.name, std::move(jc));
+                }
+                attr.set("categories", std::move(cats));
+                jr.set("attribution", std::move(attr));
+            }
             runs.push(std::move(jr));
         }
         exp.set("runs", std::move(runs));
@@ -272,6 +303,26 @@ reportJson(const Report &report)
     }
     doc.set("experiments", std::move(experiments));
     return doc;
+}
+
+std::string
+chromeTraceForReport(const Report &report)
+{
+    std::vector<sim::TraceProcess> procs;
+    for (const ExperimentResult &er : report.experiments) {
+        for (const Run &run : er.runs) {
+            if (run.trace.events.empty())
+                continue;
+            sim::TraceProcess p;
+            p.name = er.exp->name + "/" + run.scheme;
+            const std::string params = paramsLabel(run);
+            if (!params.empty())
+                p.name += " " + params;
+            p.bundle = &run.trace;
+            procs.push_back(std::move(p));
+        }
+    }
+    return sim::chromeTraceJson(procs);
 }
 
 void
@@ -347,6 +398,20 @@ runDriver(int argc, const char *const *argv)
         std::fclose(f);
         std::fprintf(stdout, "\nwrote %s (%zu bytes)\n",
                      opts.jsonPath.c_str(), text.size());
+    }
+
+    if (!opts.tracePath.empty()) {
+        const std::string text = chromeTraceForReport(report);
+        std::FILE *f = std::fopen(opts.tracePath.c_str(), "wb");
+        if (!f) {
+            std::fprintf(stderr, "damn_bench: cannot write %s: %s\n",
+                         opts.tracePath.c_str(), std::strerror(errno));
+            return 1;
+        }
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::fprintf(stdout, "wrote %s (%zu bytes)\n",
+                     opts.tracePath.c_str(), text.size());
     }
     return 0;
 }

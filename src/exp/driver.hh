@@ -19,8 +19,9 @@
 
 namespace damn::exp {
 
-/** Schema version of the --json output (bump on breaking change). */
-constexpr int kJsonSchemaVersion = 1;
+/** Schema version of the --json output (bump on breaking change).
+ *  v2: runs gained an "attribution" cost-attribution block. */
+constexpr int kJsonSchemaVersion = 2;
 
 /** Parsed command line of one damn_bench invocation. */
 struct DriverOptions
@@ -34,6 +35,7 @@ struct DriverOptions
     sim::TimeNs measureNs = 0;  //!< 0 = per-experiment default
     std::uint64_t seed = 42;
     std::string jsonPath;  //!< empty = no JSON output
+    std::string tracePath; //!< empty = no Chrome trace output
 };
 
 /** Parse argv (argv[0] ignored).  False + *err on bad usage. */
@@ -66,6 +68,10 @@ std::vector<ResultRow> flatten(const Report &report);
 
 /** Build the documented JSON document for a report. */
 Json reportJson(const Report &report);
+
+/** Chrome trace-event JSON over every run that recorded events
+ *  (one trace "process" per run, labeled experiment/scheme/params). */
+std::string chromeTraceForReport(const Report &report);
 
 /** Human-readable table of every run (uniform across experiments). */
 void printReport(const Report &report, std::FILE *out);

@@ -27,6 +27,7 @@ DAMN_EXPERIMENT(fig1_tradeoffs)
         for (const dma::SchemeKind k : ctx.schemes) {
             work::NetperfOpts o = work::bidirectionalOpts(k);
             o.runWindow = ctx.window;
+            o.trace = ctx.traceEvents;
             const auto run = work::runNetperf(o);
             ctx.out.beginRun(dma::schemeKindName(k));
             ctx.out.common(run.common);
@@ -50,6 +51,7 @@ DAMN_EXPERIMENT(fig4_singlecore)
             for (const dma::SchemeKind k : ctx.schemes) {
                 work::NetperfOpts o = work::singleCoreOpts(k, mode);
                 o.runWindow = ctx.window;
+                o.trace = ctx.traceEvents;
                 const auto run = work::runNetperf(o);
                 ctx.out.beginRun(dma::schemeKindName(k));
                 ctx.out.param("mode", label);
@@ -83,6 +85,7 @@ DAMN_EXPERIMENT(fig5_multicore)
             for (const dma::SchemeKind k : ctx.schemes) {
                 work::NetperfOpts o = work::multiCoreOpts(k, mode);
                 o.runWindow = ctx.window;
+                o.trace = ctx.traceEvents;
                 const auto run = work::runNetperf(o);
                 ctx.out.beginRun(dma::schemeKindName(k));
                 ctx.out.param("mode", label);
@@ -105,6 +108,7 @@ DAMN_EXPERIMENT(fig6_membw)
         for (const dma::SchemeKind k : ctx.schemes) {
             work::NetperfOpts o = work::bidirectionalOpts(k);
             o.runWindow = ctx.window;
+            o.trace = ctx.traceEvents;
             const auto run = work::runNetperf(o);
             ctx.out.beginRun(dma::schemeKindName(k));
             ctx.out.common(run.common);
@@ -126,9 +130,36 @@ DAMN_EXPERIMENT(latency_profile)
             work::NetperfOpts o =
                 work::multiCoreOpts(k, work::NetMode::Rx);
             o.runWindow = ctx.window;
+            o.trace = ctx.traceEvents;
             const auto run = work::runNetperf(o);
             ctx.out.beginRun(dma::schemeKindName(k));
             ctx.out.common(run.common, /*with_latency=*/true);
+        }
+    };
+    return e;
+}
+
+DAMN_EXPERIMENT(netperf_stream)
+{
+    Experiment e;
+    e.name = "netperf_stream";
+    e.title = "Canonical multi-core netperf TCP_STREAM RX run "
+              "(the trace/attribution showcase)";
+    e.paper = "extension";
+    e.axes = {"scheme"};
+    // Short default window: this experiment exists for tracing and
+    // attribution inspection, not statistics.
+    e.defaultWindow = work::RunWindow{10 * sim::kNsPerMs,
+                                      50 * sim::kNsPerMs};
+    e.run = [](RunCtx &ctx) {
+        for (const dma::SchemeKind k : ctx.schemes) {
+            work::NetperfOpts o =
+                work::multiCoreOpts(k, work::NetMode::Rx);
+            o.runWindow = ctx.window;
+            o.trace = ctx.traceEvents;
+            const auto run = work::runNetperf(o);
+            ctx.out.beginRun(dma::schemeKindName(k));
+            ctx.out.common(run.common);
         }
     };
     return e;

@@ -58,6 +58,9 @@ struct Run
     std::vector<std::pair<std::string, std::string>> params;
     std::vector<Metric> metrics;
     std::map<std::string, std::uint64_t> stats;
+    /** Cost attribution (+ events when recording); empty when the
+     *  workload does not report one. */
+    sim::TraceBundle trace;
 };
 
 /** Flattened result view: one value keyed by experiment/scheme/metric. */
@@ -139,6 +142,9 @@ struct RunCtx
      *  generation).  Varies per --repeat repetition. */
     std::uint64_t seed = 42;
     Collector &out;
+    /** True when the driver wants trace-event recording (--trace):
+     *  workloads should enable their tracer rings. */
+    bool traceEvents = false;
 
     /** An experiment with a native scheme subset intersects it with
      *  the user's --schemes selection (native order preserved). */

@@ -136,6 +136,8 @@ Collector::common(const work::CommonResult &c, bool with_latency)
     }
     for (const auto &[name, value] : c.stats)
         runs_.back().stats[name] += value;
+    if (c.trace.hasData())
+        runs_.back().trace = c.trace;
 }
 
 } // namespace damn::exp

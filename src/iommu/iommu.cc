@@ -31,6 +31,11 @@ Iommu::recordFault(DomainId d, Iova iova, bool is_write,
 {
     const FaultRecord rec{d, iova, is_write, reason, ctx_.engine.now()};
     ++faults_;
+    // Device-originated events have no CPU; by convention they land in
+    // core 0's event ring.
+    ctx_.tracer.instant(0, sim::TraceCat::Fault, "iommu.fault",
+                        rec.time, 0,
+                        std::uint64_t(static_cast<std::uint8_t>(reason)));
     const std::uint64_t df = ++domainFaults_.at(d);
     if (faultLog_.size() < faultLogCap_)
         faultLog_.push_back(rec);
@@ -90,6 +95,10 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
     const WalkResult w = pageTable(d).walk(iova);
     r.latencyNs = iotlb_.walkCached(d, iova) ? ctx_.cost.iotlbWalkPwcNs
                                              : ctx_.cost.iotlbWalkNs;
+    // Misses only: per-hit instants would dwarf everything else in the
+    // trace, and the hit count is already in the IOTLB stats.
+    ctx_.tracer.instant(0, sim::TraceCat::Iotlb, "iotlb.miss",
+                        ctx_.engine.now(), 0, r.latencyNs);
     if (!w.present || (w.perm & need) != need) {
         r.fault = true;
         recordFault(d, iova, is_write,

@@ -101,6 +101,8 @@ class InvalidationQueue
             return done;
         }
         tlb.invalidateRange(domain, iova, len);
+        ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
+                            "iotlb.invalidate_range", done, 0, len);
         return done;
     }
 
@@ -124,6 +126,9 @@ class InvalidationQueue
         }
         for (const DomainId d : domains)
             tlb.invalidateDomain(d);
+        ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
+                            "iotlb.invalidate_domains", done, 0,
+                            domains.size());
         return done;
     }
 
@@ -145,6 +150,8 @@ class InvalidationQueue
             return done;
         }
         tlb.invalidateAll();
+        ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
+                            "iotlb.invalidate_all", done);
         return done;
     }
 

@@ -81,11 +81,22 @@ NicDevice::transferSegment(sim::TimeNs now, unsigned port, Traffic dir,
                                    : sim::FaultSite::NicTx))
         return dropSegment(now, port, dir, seg_bytes);
 
+    // Ring events carry no CPU cost (the DMA engine does the work);
+    // they land in core 0's ring by the device-event convention.
+    ctx_.tracer.instant(0, sim::TraceCat::NicRing,
+                        dir == Traffic::Rx ? "nic.rx_post"
+                                           : "nic.tx_post",
+                        now, seg_bytes, port);
     dma::DmaOutcome out =
         dmaTouch(now, dma_addr, seg_bytes, dir == Traffic::Rx);
     const sim::TimeNs paced =
         pace(now, port, dir, std::uint32_t(out.bytesDone), out.walkNs);
     out.completes = std::max(out.completes, paced);
+    ctx_.tracer.instant(0, sim::TraceCat::NicRing,
+                        dir == Traffic::Rx ? "nic.rx_complete"
+                                           : "nic.tx_complete",
+                        out.completes, std::uint32_t(out.bytesDone),
+                        port);
     return out;
 }
 
@@ -117,9 +128,18 @@ NicDevice::transferSegmentSg(
         dma_done = std::max(dma_done, o.completes);
         seg_bytes += len;
     }
+    ctx_.tracer.instant(0, sim::TraceCat::NicRing,
+                        dir == Traffic::Rx ? "nic.rx_post"
+                                           : "nic.tx_post",
+                        now, seg_bytes, port);
     const sim::TimeNs paced =
         pace(now, port, dir, seg_bytes, total.walkNs);
     total.completes = std::max(dma_done, paced);
+    ctx_.tracer.instant(0, sim::TraceCat::NicRing,
+                        dir == Traffic::Rx ? "nic.rx_complete"
+                                           : "nic.tx_complete",
+                        total.completes, std::uint32_t(total.bytesDone),
+                        port);
     return total;
 }
 

@@ -28,6 +28,9 @@ NicDriver::allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
         return buf;
     }
 
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetDriver,
+                        "driver.rx_alloc");
+
     unsigned order = 0;
     while ((mem::kPageSize << order) < bytes)
         ++order;
@@ -65,6 +68,8 @@ NicDriver::rxBuild(sim::CpuCursor &cpu, RxBuffer buf,
                    std::uint32_t actual_len)
 {
     assert(buf.seg.dmaMapped);
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetDriver,
+                        "driver.rx_build");
     sys_.dmaApi->unmap(cpu, nic_, buf.seg.dmaAddr, buf.seg.dmaLen,
                        dma::Dir::FromDevice);
     buf.seg.dmaMapped = false;
@@ -96,6 +101,8 @@ NicDriver::abortRxBuffer(sim::CpuCursor &cpu, RxBuffer buf,
 void
 NicDriver::txMap(sim::CpuCursor &cpu, SkBuff &skb)
 {
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetDriver,
+                        "driver.tx_map");
     for (SkbSegment &seg : skb.segs) {
         if (seg.len == 0)
             continue;
@@ -110,6 +117,8 @@ NicDriver::txMap(sim::CpuCursor &cpu, SkBuff &skb)
 void
 NicDriver::txUnmap(sim::CpuCursor &cpu, SkBuff &skb)
 {
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetDriver,
+                        "driver.tx_unmap");
     std::vector<dma::DmaApi::UnmapReq> reqs;
     for (SkbSegment &seg : skb.segs) {
         if (!seg.dmaMapped)
@@ -140,6 +149,9 @@ TcpStack::chargeCopy(sim::CpuCursor &cpu, std::uint64_t bytes,
                      double bytes_per_ns)
 {
     const auto &c = sys_.ctx.cost;
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::Copy,
+                        "skb.copy");
+    span.bytes(bytes);
     // Copy traffic (read + write streams, partially LLC-absorbed)
     // occupies the memory controllers; when they are saturated the
     // copy stretches and the extra stall is CPU-visible.
@@ -153,6 +165,9 @@ void
 TcpStack::rxSegment(sim::CpuCursor &cpu, SkBuff &skb, double factor)
 {
     const auto &c = sys_.ctx.cost;
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetStack,
+                        "stack.rx_segment");
+    span.bytes(skb.len());
     cpu.charge(sim::TimeNs(double(c.irqPerSegmentNs +
                                   c.driverPerBufferNs) * factor));
 
@@ -177,6 +192,8 @@ TcpStack::appRead(sim::CpuCursor &cpu, SkBuff &skb, double factor,
                   core::AllocCtx actx)
 {
     (void)factor;
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::App,
+                        "app.read");
     // The POSIX copy_to_user boundary: freshly-DMAed data is LLC-warm
     // (DDIO).  Under DAMN this copy doubles as the security boundary
     // for payload bytes -- no extra work.
@@ -190,6 +207,9 @@ TcpStack::txBuild(sim::CpuCursor &cpu, std::uint32_t seg_bytes,
                   double factor, core::AllocCtx actx)
 {
     const auto &c = sys_.ctx.cost;
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetStack,
+                        "stack.tx_build");
+    span.bytes(seg_bytes);
     SkBuff skb;
     skb.dev = &nic_;
 
@@ -247,6 +267,9 @@ TcpStack::txBuildZeroCopy(sim::CpuCursor &cpu,
                           core::AllocCtx actx)
 {
     const auto &c = sys_.ctx.cost;
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetStack,
+                        "stack.tx_build_zc");
+    span.bytes(seg_bytes);
     SkBuff skb;
     skb.dev = &nic_;
 
@@ -290,6 +313,8 @@ TcpStack::txComplete(sim::CpuCursor &cpu, SkBuff &skb, double factor,
                      core::AllocCtx actx)
 {
     const auto &c = sys_.ctx.cost;
+    sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetDriver,
+                        "driver.tx_complete");
     cpu.charge(sim::TimeNs(double(c.irqPerSegmentNs +
                                   c.driverPerBufferNs) * factor));
     driver.txUnmap(cpu, skb);

@@ -94,6 +94,9 @@ StreamEngine::pumpRx(std::size_t fi)
         // have the peer retransmit after an exponentially backed-off
         // timeout; give up (flow failed) once the budget is exhausted.
         ++f.drops;
+        sys_.ctx.tracer.instant(f.spec.core, sim::TraceCat::Fault,
+                                "net.rx_drop", out.completes,
+                                f.spec.segBytes);
         f.posted.push_front(buf);
         if (!nic_.attached()) {
             // Surprise unplug: no retransmit will ever land.  Fail the
@@ -169,10 +172,14 @@ StreamEngine::rxProcess(std::size_t fi, RxBuffer buf,
     }
 
     stack_.rxSegment(cpu, skb, config_.costFactor);
-    if (f.spec.extraCpuNs)
-        cpu.charge(f.spec.extraCpuNs);
-    if (f.spec.perSegment)
-        f.spec.perSegment(cpu, skb);
+    if (f.spec.extraCpuNs != 0 || f.spec.perSegment) {
+        sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::App,
+                            "app.segment");
+        if (f.spec.extraCpuNs)
+            cpu.charge(f.spec.extraCpuNs);
+        if (f.spec.perSegment)
+            f.spec.perSegment(cpu, skb);
+    }
     stack_.appRead(cpu, skb, config_.costFactor,
                    core::AllocCtx::Interrupt);
 
@@ -199,8 +206,11 @@ StreamEngine::pumpTx(std::size_t fi)
     auto skb = std::make_shared<SkBuff>(
         stack_.txBuild(cpu, f.spec.segBytes, config_.costFactor,
                        core::AllocCtx::Standard));
-    if (f.spec.extraCpuNs)
+    if (f.spec.extraCpuNs) {
+        sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::App,
+                            "app.segment");
         cpu.charge(f.spec.extraCpuNs);
+    }
     ++f.txInflight;
 
     txSend(fi, skb, cpu.time, sys_.ctx.now(), /*attempt=*/1);
@@ -235,6 +245,9 @@ StreamEngine::txSend(std::size_t fi, std::shared_ptr<SkBuff> skb,
         when, f.spec.port, Traffic::Tx, stack_.driver.sgOf(*skb));
     if (out.fault) {
         ++f.drops;
+        sys_.ctx.tracer.instant(f.spec.core, sim::TraceCat::Fault,
+                                "net.tx_drop", out.completes,
+                                f.spec.segBytes, attempt);
         if (!nic_.attached() || attempt > f.spec.maxRetries) {
             // Unplugged or out of budget: the segment will never make
             // it.  Error-complete it so nothing stays mapped.
@@ -318,6 +331,7 @@ StreamEngine::run()
     windowEnd_ = config_.warmupNs + config_.measureNs;
     sys_.ctx.machine.resetAccounting();
     sys_.ctx.memBw.resetAccounting();
+    sys_.ctx.tracer.resetWindow();
 
     sys_.ctx.engine.run(windowEnd_);
 

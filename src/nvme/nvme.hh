@@ -93,15 +93,23 @@ class NvmeDevice : public dma::Device
                 r.aborted = true;
                 ++abortedCmds_;
                 ctx_.stats.add("nvme.aborted_cmds");
+                ctx_.tracer.instant(0, sim::TraceCat::Nvme,
+                                    "nvme.abort", t, 0, attempt);
                 r.completes = t;
                 return r;
             }
             ++r.attempts;
+            // Device-side events; core 0's ring by convention.
+            ctx_.tracer.instant(0, sim::TraceCat::Nvme, "nvme.submit",
+                                t, bytes, attempt);
             const dma::DmaOutcome out = readIo(t, dma_addr, bytes);
             if (!out.fault) {
                 r.ok = true;
                 r.completes = out.completes;
                 r.bytesDone = out.bytesDone;
+                ctx_.tracer.instant(0, sim::TraceCat::Nvme,
+                                    "nvme.complete", r.completes,
+                                    r.bytesDone, attempt);
                 return r;
             }
             if (!attached()) {
@@ -109,15 +117,22 @@ class NvmeDevice : public dma::Device
                 r.aborted = true;
                 ++abortedCmds_;
                 ctx_.stats.add("nvme.aborted_cmds");
+                ctx_.tracer.instant(0, sim::TraceCat::Nvme,
+                                    "nvme.abort", out.completes, 0,
+                                    attempt);
                 r.completes = out.completes;
                 return r;
             }
             ++r.timeouts;
             ++timeouts_;
+            ctx_.tracer.instant(0, sim::TraceCat::Nvme, "nvme.timeout",
+                                out.completes, 0, attempt);
             t = out.completes + c.nvmeTimeoutNs;
         }
         ++failedCmds_;
         ctx_.stats.add("nvme.failed_cmds");
+        ctx_.tracer.instant(0, sim::TraceCat::Nvme, "nvme.fail", t, 0,
+                            r.attempts);
         r.completes = t;
         return r;
     }

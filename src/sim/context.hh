@@ -17,6 +17,7 @@
 #include "sim/mem_bw.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/tracer.hh"
 
 namespace damn::sim {
 
@@ -28,7 +29,9 @@ struct Context
         : cost(cm),
           machine(sockets, cores_per_socket),
           memBw(cm.memBwGBps)
-    {}
+    {
+        tracer.attach(machine);
+    }
 
     Engine engine;
     CostModel cost;
@@ -38,6 +41,8 @@ struct Context
     Rng rng;
     /** Deterministic fault injection; disabled (zero-cost) by default. */
     FaultInjector faults;
+    /** Virtual-time tracing + cost attribution (sim/tracer.hh). */
+    Tracer tracer;
 
     /**
      * When true (default), all data paths move real bytes through the
@@ -74,6 +79,7 @@ struct Context
         machine.resetAccounting();
         memBw.resetAccounting();
         stats.clear();
+        tracer.resetWindow();
     }
 };
 

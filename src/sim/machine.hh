@@ -19,6 +19,20 @@
 namespace damn::sim {
 
 /**
+ * Observer of per-core busy-time bookings.  The Tracer implements
+ * this to attribute every charged nanosecond to a cost category; the
+ * hook sits inside Core::occupy so no charge site can bypass it.
+ */
+class BusyObserver
+{
+  public:
+    virtual void onBusy(CoreId core, TimeNs booked) = 0;
+
+  protected:
+    ~BusyObserver() = default;
+};
+
+/**
  * One simulated CPU core.  Tracks the time up to which the core is
  * committed to already-charged work, plus cumulative busy time for
  * utilization reporting.
@@ -58,9 +72,15 @@ class Core
     {
         const TimeNs begin = start > freeAt_ ? start : freeAt_;
         freeAt_ = begin + duration;
-        busyNs_ += TimeNs(double(duration) * busy_fraction);
+        const TimeNs booked = TimeNs(double(duration) * busy_fraction);
+        busyNs_ += booked;
+        if (observer_ != nullptr)
+            observer_->onBusy(id_, booked);
         return freeAt_;
     }
+
+    /** Install the busy-time observer (nullptr detaches). */
+    void setBusyObserver(BusyObserver *obs) { observer_ = obs; }
 
     /** Cumulative busy nanoseconds since construction (or last reset). */
     TimeNs busyNs() const { return busyNs_; }
@@ -73,6 +93,7 @@ class Core
     NumaId numa_;
     TimeNs freeAt_ = 0;
     TimeNs busyNs_ = 0;
+    BusyObserver *observer_ = nullptr;
 };
 
 /**
@@ -146,6 +167,14 @@ class Machine
     {
         for (auto &c : cores_)
             c.resetAccounting();
+    }
+
+    /** Install @p obs as every core's busy-time observer. */
+    void
+    setBusyObserver(BusyObserver *obs)
+    {
+        for (auto &c : cores_)
+            c.setBusyObserver(obs);
     }
 
   private:

@@ -46,6 +46,9 @@ class FioJob
     {
         sim::CpuCursor cpu(sys_.ctx.machine.core(core_),
                            sys_.ctx.now());
+        sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::Nvme,
+                            "nvme.submit_io");
+        span.bytes(opts_.blockBytes);
         // Block layer + driver submission half.
         cpu.charge(sys_.ctx.cost.nvmePerIoCpuNs / 2);
         // O_DIRECT: the user buffer is DMA-mapped for this request.
@@ -67,6 +70,8 @@ class FioJob
     {
         sim::CpuCursor cpu(sys_.ctx.machine.core(core_),
                            sys_.ctx.now());
+        sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::Nvme,
+                            "nvme.complete_io");
         cpu.charge(sys_.ctx.cost.nvmePerIoCpuNs / 2);
         sys_.dmaApi->unmap(cpu, dev_, dma, opts_.blockBytes,
                            dma::Dir::FromDevice);
@@ -106,6 +111,8 @@ runFio(const FioOpts &opts)
     p.cost.strictPostWaitNs = 1200;
     net::System sys(p);
     sys.ctx.functionalData = false;
+    if (opts.trace)
+        sys.ctx.tracer.startRecording();
 
     nvme::NvmeDevice dev(sys.ctx, "nvme0", sys.mmu, sys.phys);
 
@@ -131,6 +138,8 @@ runFio(const FioOpts &opts)
     r.common.memGBps =
         sys.ctx.memBw.achievedGBps(opts.runWindow.measureNs);
     r.common.stats = sys.ctx.stats.snapshot();
+    r.common.trace =
+        sys.ctx.tracer.bundle(sys.ctx.machine, p.cost.cpuGhz);
     r.throughputGBps = r.common.opsPerSec * opts.blockBytes / 1e9;
     return r;
 }

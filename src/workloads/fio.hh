@@ -26,6 +26,7 @@ struct FioOpts
     unsigned jobs = 12;
     unsigned queueDepth = 32;
     std::uint32_t blockBytes = 512;
+    bool trace = false; //!< record trace events (rings on)
     RunWindow runWindow{20 * sim::kNsPerMs, 150 * sim::kNsPerMs};
 };
 

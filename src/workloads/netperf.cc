@@ -72,6 +72,8 @@ runNetperf(const NetperfOpts &opts,
     NetperfRun run = makeNetperfSystem(opts);
     if (customize)
         customize(run);
+    if (opts.trace)
+        run.sys->ctx.tracer.startRecording();
 
     net::StreamConfig sc;
     sc.warmupNs = opts.runWindow.warmupNs;
@@ -83,6 +85,8 @@ runNetperf(const NetperfOpts &opts,
 
     run.common = toCommon(run.res, opts.runWindow);
     run.common.stats = run.sys->ctx.stats.snapshot();
+    run.common.trace = run.sys->ctx.tracer.bundle(
+        run.sys->ctx.machine, run.sys->ctx.cost.cpuGhz);
     return run;
 }
 

@@ -37,6 +37,7 @@ struct NetperfOpts
     std::uint32_t segBytes = 16 * 1024;
     unsigned window = 32;
     double costFactor = 1.0;
+    bool trace = false;             //!< record trace events (rings on)
     RunWindow runWindow{};
     net::SystemParams sysParams{};  //!< scheme field is overwritten
 };

@@ -55,6 +55,9 @@ struct RunWindow
         ctx.engine.run(warmupNs);
         ctx.machine.resetAccounting();
         ctx.memBw.resetAccounting();
+        // Keep the trace/attribution window equal to the busy-time
+        // window: warmup events are discarded, measurement retained.
+        ctx.tracer.resetWindow();
     }
 
     /** Run @p ctx to the end of the measurement window. */
@@ -87,6 +90,8 @@ struct CommonResult
     sim::LatencyHistogram latency;
     /** Snapshot of the System's stats counters at the end of the run. */
     std::map<std::string, std::uint64_t> stats;
+    /** Cost-attribution table + (when recording) the event log. */
+    sim::TraceBundle trace;
 };
 
 } // namespace damn::work

@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <map>
 #include <unordered_map>
 
+#include "exp/json.hh"
 #include "iommu/iotlb.hh"
 #include "mem/kmalloc.hh"
+#include "sim/context.hh"
 #include "sim/rng.hh"
 
 using namespace damn;
@@ -150,6 +154,144 @@ TEST(FuzzKmalloc, ContentIsolationAcrossObjects)
 // ---------------------------------------------------------------------
 // IOTLB never returns stale-after-invalidate translations
 // ---------------------------------------------------------------------
+
+// ---------------------------------------------------------------------
+// Tracer ring buffer vs a per-core deque reference
+// ---------------------------------------------------------------------
+
+TEST(FuzzTracer, RingWrapMatchesReferenceModel)
+{
+    sim::Context ctx(sim::CostModel{}, 1, 4);
+    sim::Rng rng(2024);
+
+    for (const std::size_t cap : {std::size_t(1), std::size_t(2),
+                                  std::size_t(7), std::size_t(64)}) {
+        ctx.tracer.resetWindow();
+        ctx.tracer.startRecording(cap);
+
+        // Reference: each core keeps its newest `cap` events; every
+        // displaced event is one drop.
+        std::vector<std::deque<std::pair<sim::TimeNs, std::uint64_t>>>
+            ref(4);
+        std::uint64_t ref_drops = 0;
+        std::uint64_t tag = 0;
+
+        for (int step = 0; step < 5000; ++step) {
+            const auto core = sim::CoreId(rng.below(4));
+            const sim::TimeNs t = rng.below(100000);
+            if (rng.chance(0.5)) {
+                ctx.tracer.instant(core, sim::TraceCat::NicRing, "i",
+                                   t, 0, tag);
+            } else {
+                ctx.tracer.span(core, sim::TraceCat::Copy, "s", t,
+                                t + rng.below(100), 0, tag);
+            }
+            ref[core].emplace_back(t, tag);
+            ++tag;
+            if (ref[core].size() > cap) {
+                ref[core].pop_front();
+                ++ref_drops;
+            }
+        }
+
+        EXPECT_EQ(ctx.tracer.droppedEvents(), ref_drops)
+            << "cap " << cap;
+        std::size_t ref_count = 0;
+        for (const auto &d : ref)
+            ref_count += d.size();
+        EXPECT_EQ(ctx.tracer.bufferedEvents(), ref_count);
+
+        // Tags increase in record order, so the expected merged order
+        // is (t0, tag) — exactly the exporter's (t0, seq) sort.
+        std::vector<std::pair<sim::TimeNs, std::uint64_t>> expect;
+        for (const auto &d : ref)
+            expect.insert(expect.end(), d.begin(), d.end());
+        std::sort(expect.begin(), expect.end());
+
+        const sim::TraceBundle b = ctx.tracer.bundle(ctx.machine, 2.0);
+        ASSERT_EQ(b.events.size(), expect.size()) << "cap " << cap;
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_EQ(b.events[i].t0, expect[i].first)
+                << "cap " << cap << " slot " << i;
+            EXPECT_EQ(b.events[i].aux, expect[i].second)
+                << "cap " << cap << " slot " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The trace-JSON escaper round-trips adversarial strings
+// ---------------------------------------------------------------------
+
+TEST(FuzzJsonEscape, AdversarialStringsRoundTripThroughTheParser)
+{
+    // Targeted adversaries first: everything that could break a JSON
+    // string literal or confuse a parser.
+    const std::string cases[] = {
+        "",
+        "\"",
+        "\\",
+        "\\\\\"\"",
+        "\"},{\"pid\":0}",
+        std::string(1, '\0'),
+        std::string("\0\x01\x02\x1f", 4),
+        "\b\f\n\r\t",
+        "]}\n{\"traceEvents\":[",
+        "\xff\xfe high bytes \x80",
+        "日本語 utf-8 passes through",
+    };
+    for (const std::string &s : cases) {
+        const std::string wrapped = "\"" + sim::jsonEscape(s) + "\"";
+        const exp::Json v = exp::Json::parse(wrapped);
+        EXPECT_EQ(v.str(), s);
+    }
+
+    // Then random byte soup over the full 0..255 range.
+    sim::Rng rng(404);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string s;
+        const auto len = rng.below(64);
+        for (std::uint64_t i = 0; i < len; ++i)
+            s += char(std::uint8_t(rng.below(256)));
+        const std::string wrapped = "\"" + sim::jsonEscape(s) + "\"";
+        const exp::Json v = exp::Json::parse(wrapped);
+        ASSERT_EQ(v.str(), s) << "iter " << iter;
+    }
+}
+
+TEST(FuzzJsonEscape, AdversarialEventNamesKeepTheTraceParseable)
+{
+    sim::Context ctx(sim::CostModel{}, 1, 2);
+    sim::Rng rng(911);
+    ctx.tracer.startRecording(256);
+    std::vector<std::string> names;
+    for (int i = 0; i < 64; ++i) {
+        std::string name;
+        const auto len = rng.between(1, 24);
+        for (std::uint64_t j = 0; j < len; ++j)
+            name += char(std::uint8_t(rng.below(256)));
+        names.push_back(name);
+        // aux = i + 1 so every event serializes an args.aux tag
+        // (zero-valued args are omitted from the JSON).
+        ctx.tracer.instant(sim::CoreId(i % 2), sim::TraceCat::Other,
+                           name, sim::TimeNs(i), 0, i + 1);
+    }
+    const sim::TraceBundle b = ctx.tracer.bundle(ctx.machine, 2.0);
+    const std::string json =
+        sim::chromeTraceJson({{"evil \"proc\"\n", &b}});
+    const exp::Json doc = exp::Json::parse(json);
+    const exp::Json *evs = doc.find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    ASSERT_EQ(evs->items().size(), 65u); // metadata + 64 instants
+    for (std::size_t i = 1; i < evs->items().size(); ++i) {
+        const exp::Json &ev = evs->items()[i];
+        // aux identifies the original name regardless of sort order.
+        const auto tag =
+            std::size_t(ev.find("args")->find("aux")->asUint()) - 1;
+        ASSERT_LT(tag, names.size());
+        EXPECT_EQ(ev.find("name")->str(), names[tag]);
+    }
+}
 
 TEST(FuzzIotlb, InvalidationIsComplete)
 {

@@ -91,3 +91,148 @@ TEST_F(NvmeFixture, IdleGapsDoNotAccumulateCredit)
     const auto b = dev.readIo(1'000'000, mem::pfnToPa(pfn), 512);
     EXPECT_GT(b.completes, a.completes);
 }
+
+// ---------------------------------------------------------------------
+// Completion ordering under queue pressure
+// ---------------------------------------------------------------------
+
+TEST_F(NvmeFixture, QueuePressureCompletesInSubmissionOrder)
+{
+    // A deep queue submitted at one instant: the IOPS engine is a
+    // serial resource, so completions must come back in submission
+    // order, strictly spaced by at least one IOPS slot.
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    const sim::TimeNs slot = sim::TimeNs(1e9 / ctx.cost.nvmeMaxIops);
+    sim::TimeNs prev = 0;
+    for (int i = 0; i < 64; ++i) {
+        const auto out = dev.readIo(0, mem::pfnToPa(pfn), 512);
+        EXPECT_TRUE(out.ok);
+        if (i > 0) {
+            EXPECT_GT(out.completes, prev)
+                << "completion " << i << " reordered";
+            EXPECT_GE(out.completes - prev, slot);
+        }
+        prev = out.completes;
+    }
+}
+
+TEST_F(NvmeFixture, MixedBlockSizesStillCompleteInOrder)
+{
+    // Large blocks occupy the media engine longer, but the serial
+    // resources forbid overtaking: a later small IO never completes
+    // before an earlier large one.
+    const mem::Pfn pfn = pa.allocPages(5, 0);
+    sim::TimeNs prev = 0;
+    for (int i = 0; i < 40; ++i) {
+        const std::uint32_t bytes = i % 2 == 0 ? 131072 : 512;
+        const auto out = dev.readIo(0, mem::pfnToPa(pfn), bytes);
+        EXPECT_TRUE(out.ok);
+        EXPECT_GE(out.completes, prev) << "IO " << i << " overtook";
+        prev = out.completes;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded retry / timeout paths
+// ---------------------------------------------------------------------
+
+TEST_F(NvmeFixture, LostCommandRetriesAfterTimeout)
+{
+    ctx.faults.enable(7);
+    ctx.faults.failNth(sim::FaultSite::NvmeCmd, 1);
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    const NvmeCmdResult r = dev.submitRead(0, mem::pfnToPa(pfn), 4096);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(r.timeouts, 1u);
+    EXPECT_GE(r.completes, ctx.cost.nvmeTimeoutNs);
+}
+
+TEST_F(NvmeFixture, PersistentLossExhaustsTheBudgetInBoundedTime)
+{
+    ctx.faults.enable(7);
+    ctx.faults.setProbability(sim::FaultSite::NvmeCmd, 1.0);
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    const NvmeCmdResult r = dev.submitRead(0, mem::pfnToPa(pfn), 4096);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.attempts, ctx.cost.nvmeMaxRetries + 1);
+    EXPECT_EQ(r.timeouts, ctx.cost.nvmeMaxRetries + 1);
+    // Bounded: every attempt costs exactly one timeout here (the lost
+    // command consumes no device slot).
+    EXPECT_EQ(r.completes,
+              sim::TimeNs(ctx.cost.nvmeMaxRetries + 1) *
+                  ctx.cost.nvmeTimeoutNs);
+    EXPECT_EQ(dev.failedCmds(), 1u);
+}
+
+TEST_F(NvmeFixture, UnplugAbortsInsteadOfBurningTimeouts)
+{
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    dev.unplug();
+    const NvmeCmdResult r = dev.submitRead(0, mem::pfnToPa(pfn), 4096);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_EQ(r.attempts, 0u);
+    EXPECT_EQ(r.completes, 0u) << "abort must not wait out timeouts";
+    EXPECT_EQ(dev.abortedCmds(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Trace events on the NVMe command lifecycle
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Names of buffered NVMe trace events, in record order. */
+std::vector<std::string>
+nvmeEventNames(sim::Context &ctx)
+{
+    const sim::TraceBundle b = ctx.tracer.bundle(ctx.machine, 2.0);
+    std::vector<std::string> names;
+    for (const sim::TraceEvent &ev : b.events)
+        if (ev.cat == sim::TraceCat::Nvme)
+            names.push_back(b.names[ev.nameId]);
+    return names;
+}
+
+} // namespace
+
+TEST_F(NvmeFixture, TraceRecordsSubmitAndComplete)
+{
+    ctx.tracer.startRecording();
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    const NvmeCmdResult r = dev.submitRead(0, mem::pfnToPa(pfn), 4096);
+    ASSERT_TRUE(r.ok);
+    const auto names = nvmeEventNames(ctx);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "nvme.submit");
+    EXPECT_EQ(names[1], "nvme.complete");
+}
+
+TEST_F(NvmeFixture, TraceRecordsTimeoutsAndFailure)
+{
+    ctx.tracer.startRecording();
+    ctx.faults.enable(7);
+    ctx.faults.setProbability(sim::FaultSite::NvmeCmd, 1.0);
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    const NvmeCmdResult r = dev.submitRead(0, mem::pfnToPa(pfn), 4096);
+    ASSERT_FALSE(r.ok);
+    const auto names = nvmeEventNames(ctx);
+    // submit/timeout per attempt, one final fail marker.
+    ASSERT_EQ(names.size(), 2u * (ctx.cost.nvmeMaxRetries + 1) + 1);
+    EXPECT_EQ(names.front(), "nvme.submit");
+    EXPECT_EQ(names[1], "nvme.timeout");
+    EXPECT_EQ(names.back(), "nvme.fail");
+}
+
+TEST_F(NvmeFixture, TraceRecordsAbortOnUnplug)
+{
+    ctx.tracer.startRecording();
+    const mem::Pfn pfn = pa.allocPages(0, 0);
+    dev.unplug();
+    (void)dev.submitRead(0, mem::pfnToPa(pfn), 4096);
+    const auto names = nvmeEventNames(ctx);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "nvme.abort");
+}
