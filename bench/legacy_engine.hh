@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The pre-fast-path DES engine, kept verbatim (header-only) as the
+ * baseline `bench_selfperf` measures the production engine against:
+ * std::function callbacks (heap-allocating beyond the implementation's
+ * tiny inline buffer), a binary std::priority_queue of fat Event
+ * structs, and an unordered_set consulted once per pop for lazy
+ * cancellation.  Benchmark-only code — nothing in src/ links this.
+ */
+
+#ifndef DAMN_BENCH_LEGACY_ENGINE_HH
+#define DAMN_BENCH_LEGACY_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace damn::bench {
+
+/** The seed-state Engine, for A/B dispatch-rate comparison. */
+class LegacyEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    LegacyEngine() = default;
+    LegacyEngine(const LegacyEngine &) = delete;
+    LegacyEngine &operator=(const LegacyEngine &) = delete;
+
+    sim::TimeNs now() const { return now_; }
+
+    std::uint64_t
+    schedule(sim::TimeNs when, Callback cb)
+    {
+        if (when < now_)
+            when = now_;
+        const std::uint64_t id = nextId_++;
+        queue_.push(Event{when, id, std::move(cb)});
+        ++live_;
+        return id;
+    }
+
+    std::uint64_t
+    scheduleIn(sim::TimeNs delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    bool
+    cancel(std::uint64_t id)
+    {
+        const bool fresh = cancelled_.insert(id).second;
+        if (fresh)
+            --live_;
+        return fresh;
+    }
+
+    std::uint64_t
+    run(sim::TimeNs until)
+    {
+        std::uint64_t n = 0;
+        while (!queue_.empty()) {
+            if (queue_.top().when > until)
+                break;
+            Event ev = std::move(const_cast<Event &>(queue_.top()));
+            queue_.pop();
+            auto it = cancelled_.find(ev.id);
+            if (it != cancelled_.end()) {
+                cancelled_.erase(it);
+                continue;
+            }
+            --live_;
+            now_ = ev.when;
+            ++dispatched_;
+            ++n;
+            ev.cb();
+        }
+        return n;
+    }
+
+    std::uint64_t runAll() { return run(~sim::TimeNs{0}); }
+    std::uint64_t pending() const { return live_; }
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Event
+    {
+        sim::TimeNs when;
+        std::uint64_t id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    sim::TimeNs now_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t live_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;
+};
+
+} // namespace damn::bench
+
+#endif // DAMN_BENCH_LEGACY_ENGINE_HH

@@ -1,0 +1,25 @@
+# Selfperf smoke: run bench_selfperf at a reduced window, then validate
+# the BENCH_selfperf.json it wrote against the documented schema with
+# the binary's own --check mode.  Keeps every future PR recording
+# events/sec and wall-ns-per-sim-ms alongside the tier-1 tests.
+#
+# Invoked as:
+#   cmake -DBENCH=<bench_selfperf> -DOUT=<dir> -P selfperf_smoke.cmake
+
+set(artifact ${OUT}/selfperf_smoke.json)
+
+execute_process(
+    COMMAND ${BENCH} --events=200000 --warmup-ms=1 --measure-ms=2
+            --out=${artifact}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_selfperf run failed: ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} --check=${artifact}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "BENCH_selfperf.json schema check failed: ${rc}")
+endif()

@@ -54,6 +54,9 @@ Auditor::ledgerPages(iommu::DomainId d) const
 std::uint64_t
 Auditor::staleTlbEntries(iommu::DomainId d) const
 {
+    // Cold audit path: validEntries() and the page walks below are
+    // linear scans charged no virtual time and no Tracer category —
+    // never call from a per-packet path.
     std::uint64_t stale = 0;
     for (const iommu::TlbEntry &e :
          mmu_.iotlb().validEntries(d)) {

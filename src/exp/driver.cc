@@ -5,10 +5,13 @@
 
 #include "exp/driver.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 namespace damn::exp {
 
@@ -25,6 +28,9 @@ const char kUsage[] =
     "                     (shell-style * and ?, e.g. --only='fig4*')\n"
     "  --schemes=a,b,...  restrict the scheme axis (names as printed:\n"
     "                     iommu-off, deferred, strict, shadow, damn)\n"
+    "  --jobs=N           run (experiment, rep) units on N worker\n"
+    "                     threads (default: one per hardware thread;\n"
+    "                     results are byte-identical for any N)\n"
     "  --repeat=N         run each experiment N times, varying the seed\n"
     "                     (rows gain a rep=<i> parameter)\n"
     "  --warmup-ms=N      override every experiment's warmup window\n"
@@ -115,6 +121,12 @@ parseArgs(int argc, const char *const *argv, DriverOptions *opts,
                 start = comma + 1;
             }
             opts->schemes = std::move(selected);
+        } else if (key == "jobs") {
+            if (!parseU64(value, &n) || n == 0) {
+                *err = "--jobs needs a positive integer";
+                return false;
+            }
+            opts->jobs = unsigned(n);
         } else if (key == "repeat") {
             if (!parseU64(value, &n) || n == 0) {
                 *err = "--repeat needs a positive integer";
@@ -169,37 +181,123 @@ selectExperiments(const DriverOptions &opts)
     return out;
 }
 
+namespace {
+
+/**
+ * Execute one (experiment, rep) unit on a private simulated machine.
+ * Thread-confined by construction: every piece of mutable simulation
+ * state (Engine, Machine, Stats, Tracer, FaultInjector, RNG streams)
+ * lives in Contexts the experiment's run function creates itself; the
+ * only cross-thread data are the read-only registry/options and this
+ * unit's own result vector.
+ */
+std::vector<Run>
+runUnit(const DriverOptions &opts, const Experiment &e, unsigned rep)
+{
+    Collector out;
+    RunCtx ctx{
+        e,
+        work::RunWindow{
+            opts.warmupNs ? opts.warmupNs : e.defaultWindow.warmupNs,
+            opts.measureNs ? opts.measureNs
+                           : e.defaultWindow.measureNs,
+        },
+        opts.schemes,
+        opts.seed + rep,
+        out,
+        !opts.tracePath.empty(),
+    };
+    e.run(ctx);
+    std::vector<Run> runs = out.take();
+    if (opts.repeat > 1)
+        for (Run &run : runs)
+            run.params.insert(run.params.begin(),
+                              {"rep", std::to_string(rep)});
+    return runs;
+}
+
+} // namespace
+
+unsigned
+effectiveJobs(const DriverOptions &opts)
+{
+    if (opts.jobs != 0)
+        return opts.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
 Report
 runExperiments(const DriverOptions &opts)
 {
     Report report;
     report.opts = opts;
-    for (const Experiment *e : selectExperiments(opts)) {
+    const std::vector<const Experiment *> selected =
+        selectExperiments(opts);
+
+    // The work queue: every (experiment, rep) pair, experiment-major
+    // in registration order.  Results land in a slot per unit, so the
+    // merge below reads them back in exactly the serial order no
+    // matter which worker finished which unit when.
+    struct Unit
+    {
+        const Experiment *exp;
+        unsigned rep;
+    };
+    std::vector<Unit> units;
+    units.reserve(selected.size() * opts.repeat);
+    for (const Experiment *e : selected)
+        for (unsigned rep = 0; rep < opts.repeat; ++rep)
+            units.push_back({e, rep});
+
+    std::vector<std::vector<Run>> results(units.size());
+    const std::size_t jobs =
+        std::min<std::size_t>(effectiveJobs(opts), units.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < units.size(); ++i)
+            results[i] = runUnit(opts, *units[i].exp, units[i].rep);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::exception_ptr> errors(units.size());
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t w = 0; w < jobs; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= units.size())
+                        return;
+                    try {
+                        results[i] = runUnit(opts, *units[i].exp,
+                                             units[i].rep);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+        // Surface the first failure in unit order (deterministic even
+        // when several units threw).
+        for (std::exception_ptr &ep : errors)
+            if (ep)
+                std::rethrow_exception(ep);
+    }
+
+    report.experiments.reserve(selected.size());
+    std::size_t unit = 0;
+    for (const Experiment *e : selected) {
         ExperimentResult res;
         res.exp = e;
-        for (unsigned rep = 0; rep < opts.repeat; ++rep) {
-            Collector out;
-            RunCtx ctx{
-                *e,
-                work::RunWindow{
-                    opts.warmupNs ? opts.warmupNs
-                                  : e->defaultWindow.warmupNs,
-                    opts.measureNs ? opts.measureNs
-                                   : e->defaultWindow.measureNs,
-                },
-                opts.schemes,
-                opts.seed + rep,
-                out,
-                !opts.tracePath.empty(),
-            };
-            e->run(ctx);
-            for (Run &run : out.take()) {
-                if (opts.repeat > 1)
-                    run.params.insert(run.params.begin(),
-                                      {"rep", std::to_string(rep)});
+        std::size_t total = 0;
+        for (unsigned rep = 0; rep < opts.repeat; ++rep)
+            total += results[unit + rep].size();
+        res.runs.reserve(total);
+        for (unsigned rep = 0; rep < opts.repeat; ++rep, ++unit)
+            for (Run &run : results[unit])
                 res.runs.push_back(std::move(run));
-            }
-        }
         report.experiments.push_back(std::move(res));
     }
     return report;
@@ -209,6 +307,11 @@ std::vector<ResultRow>
 flatten(const Report &report)
 {
     std::vector<ResultRow> rows;
+    std::size_t total = 0;
+    for (const ExperimentResult &er : report.experiments)
+        for (const Run &run : er.runs)
+            total += run.metrics.size();
+    rows.reserve(total);
     for (const ExperimentResult &er : report.experiments) {
         for (const Run &run : er.runs) {
             for (const Metric &m : run.metrics) {
@@ -245,17 +348,20 @@ reportJson(const Report &report)
             std::uint64_t(report.opts.measureNs / sim::kNsPerMs));
 
     Json experiments = Json::array();
+    experiments.reserve(report.experiments.size());
     for (const ExperimentResult &er : report.experiments) {
         Json exp = Json::object();
         exp.set("name", er.exp->name);
         exp.set("title", er.exp->title);
         exp.set("paper", er.exp->paper);
         Json axes = Json::array();
+        axes.reserve(er.exp->axes.size());
         for (const std::string &a : er.exp->axes)
             axes.push(a);
         exp.set("axes", std::move(axes));
 
         Json runs = Json::array();
+        runs.reserve(er.runs.size());
         for (const Run &run : er.runs) {
             Json jr = Json::object();
             jr.set("scheme", run.scheme);

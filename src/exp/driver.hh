@@ -30,6 +30,9 @@ struct DriverOptions
     bool help = false;
     std::string only;  //!< glob over experiment names; empty = all
     std::vector<dma::SchemeKind> schemes = defaultSchemes();
+    /** Worker threads for (experiment, rep) units; 0 = one per
+     *  hardware thread.  Output is byte-identical for every value. */
+    unsigned jobs = 0;
     unsigned repeat = 1;
     sim::TimeNs warmupNs = 0;   //!< 0 = per-experiment default
     sim::TimeNs measureNs = 0;  //!< 0 = per-experiment default
@@ -60,7 +63,18 @@ struct Report
 std::vector<const Experiment *>
 selectExperiments(const DriverOptions &opts);
 
-/** Run every selected experiment (repeat times each). */
+/** Resolve DriverOptions::jobs: 0 becomes hardware_concurrency
+ *  (minimum 1). */
+unsigned effectiveJobs(const DriverOptions &opts);
+
+/**
+ * Run every selected experiment (repeat times each).
+ *
+ * Units of work are (experiment, rep) pairs; with jobs > 1 they
+ * execute on a worker pool, each on a private deterministic simulated
+ * machine, and merge back in registration order — the Report (and
+ * everything serialized from it) is byte-identical to a serial run.
+ */
 Report runExperiments(const DriverOptions &opts);
 
 /** Flatten into experiment/scheme/metric-keyed rows. */

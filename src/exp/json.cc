@@ -181,10 +181,46 @@ Json::dumpTo(std::string &out, unsigned indent) const
     }
 }
 
+std::size_t
+Json::dumpSizeHint(unsigned indent) const
+{
+    // Upper-bound-ish estimate of the serialized size, so dump() can
+    // reserve once instead of growing the string geometrically while
+    // serializing a multi-megabyte sweep report.  Scalars get a flat
+    // allowance; strings their length plus quotes/escape slop;
+    // containers the per-element indentation and punctuation.
+    switch (kind_) {
+    case Kind::Null:
+    case Kind::Bool:
+        return 5;
+    case Kind::Int:
+    case Kind::Uint:
+    case Kind::Double:
+        return 24;
+    case Kind::String:
+        return string_.size() + 8;
+    case Kind::Array: {
+        std::size_t n = 4;
+        for (const Json &v : items_)
+            n += v.dumpSizeHint(indent + 1) + 2 * (indent + 1) + 2;
+        return n;
+    }
+    case Kind::Object: {
+        std::size_t n = 4;
+        for (const auto &[k, v] : members_)
+            n += k.size() + 4 + v.dumpSizeHint(indent + 1) +
+                2 * (indent + 1) + 2;
+        return n;
+    }
+    }
+    return 0;
+}
+
 std::string
 Json::dump() const
 {
     std::string out;
+    out.reserve(dumpSizeHint(0) + 2);
     dumpTo(out, 0);
     out += '\n';
     return out;

@@ -62,6 +62,16 @@ class Json
         items_.push_back(std::move(v));
     }
 
+    /** Pre-size an array's items (or an object's members). */
+    void
+    reserve(std::size_t n)
+    {
+        if (kind_ == Kind::Object)
+            members_.reserve(n);
+        else
+            items_.reserve(n);
+    }
+
     /** Set a key of an object (insertion-ordered; overwrites). */
     void set(const std::string &key, Json v);
 
@@ -89,6 +99,7 @@ class Json
 
   private:
     void dumpTo(std::string &out, unsigned indent) const;
+    std::size_t dumpSizeHint(unsigned indent) const;
 
     Kind kind_;
     bool bool_ = false;

@@ -46,7 +46,13 @@ Iotlb::walkCached(DomainId domain, Iova iova)
 const TlbEntry *
 Iotlb::lookup(DomainId domain, Iova iova)
 {
-    ++clock_;
+    // The LRU clock advances only when a stamp is actually written (on
+    // hit; insert/walkCached stamp for themselves), keeping the miss
+    // path scan-only.  Only the *relative order* of lastUse values
+    // feeds victim selection, so skipping ticks on misses leaves every
+    // eviction decision — and therefore all simulated output —
+    // unchanged.
+    //
     // 2 MiB bank first: a huge entry covers the 4 KiB tag too.
     const Iova tag2m = iova & ~(kHugePageSize - 1);
     TlbEntry *set = setBase(true, domain, tag2m);
@@ -54,7 +60,7 @@ Iotlb::lookup(DomainId domain, Iova iova)
         TlbEntry &e = set[w];
         if (e.valid && e.domain == domain && e.iovaPage == tag2m &&
             e.huge) {
-            e.lastUse = clock_;
+            e.lastUse = ++clock_;
             ++hits_;
             return &e;
         }
@@ -65,7 +71,7 @@ Iotlb::lookup(DomainId domain, Iova iova)
         TlbEntry &e = set[w];
         if (e.valid && e.domain == domain && e.iovaPage == tag4k &&
             !e.huge) {
-            e.lastUse = clock_;
+            e.lastUse = ++clock_;
             ++hits_;
             return &e;
         }

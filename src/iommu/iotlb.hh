@@ -80,9 +80,15 @@ class Iotlb
 
     /**
      * Snapshot of every valid entry cached for @p domain (both banks).
-     * Audit/teardown path only — linear scan, not charged any cost.
-     * After a domain invalidation this must be empty; anything else is
-     * a stale translation keeping freed memory device-reachable.
+     *
+     * COLD PATH ONLY: audit/teardown use, never per-packet.  It scans
+     * both banks linearly, allocates the result vector, charges no
+     * virtual time and no sim::Tracer category, and — being const —
+     * cannot perturb the hot-path state (hit/miss counters, LRU clock,
+     * entry stamps), so calling it mid-run never changes simulated
+     * output.  After a domain invalidation this must be empty;
+     * anything else is a stale translation keeping freed memory
+     * device-reachable.
      */
     std::vector<TlbEntry> validEntries(DomainId domain) const;
 

@@ -1,34 +1,91 @@
 /**
  * @file
- * Engine event loop implementation.
+ * Engine event loop: 4-ary heap maintenance and the batched dispatch
+ * loop.
  */
 
 #include "sim/engine.hh"
 
 namespace damn::sim {
 
+void
+Engine::heapPush(HeapNode node)
+{
+    std::size_t i = heap_.size();
+    heap_.push_back(node);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!before(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+Engine::heapPop()
+{
+    const std::size_t n = heap_.size() - 1;
+    heap_[0] = heap_[n];
+    heap_.pop_back();
+    if (n == 0)
+        return;
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = first + kArity < n ? first + kArity : n;
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        if (!before(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
 std::uint64_t
 Engine::run(TimeNs until)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty()) {
-        if (queue_.top().when > until)
+    // Batch buffer is local so a callback that re-enters run() (legal,
+    // if unusual) cannot clobber an in-flight batch.
+    std::vector<HeapNode> batch;
+    while (!heap_.empty()) {
+        if (heap_[0].when > until)
             break;
-        // Moving out of a priority_queue requires const_cast; the element
-        // is popped immediately afterwards so the heap order is unharmed.
-        Event ev = std::move(const_cast<Event &>(queue_.top()));
-        queue_.pop();
-        auto it = cancelled_.find(ev.id);
-        if (it != cancelled_.end()) {
-            // cancel() already dropped this event from the live count.
-            cancelled_.erase(it);
-            continue;
+        // Pop every event sharing the minimal timestamp before running
+        // any of them: one `until` comparison per timestamp, and events
+        // a callback schedules at the same instant sort after the batch
+        // (their seq is higher) so FIFO order is preserved.
+        const TimeNs t = heap_[0].when;
+        batch.clear();
+        do {
+            const HeapNode node = heap_[0];
+            heapPop();
+            // Stale node: its event was cancelled (slot freed, maybe
+            // since reused under a different seq).  Skip silently —
+            // cancel() already adjusted the live count.
+            if (slots_[node.slot].seq == node.seq)
+                batch.push_back(node);
+        } while (!heap_.empty() && heap_[0].when == t);
+        now_ = t;
+        for (const HeapNode &node : batch) {
+            Slot &s = slots_[node.slot];
+            // A batch member may be cancelled by an earlier member's
+            // callback; the slot check repeats at dispatch time.
+            if (s.seq != node.seq)
+                continue;
+            SmallFn cb = std::move(s.cb);
+            releaseSlot(node.slot);
+            --live_;
+            ++dispatched_;
+            ++n;
+            cb();
         }
-        --live_;
-        now_ = ev.when;
-        ++dispatched_;
-        ++n;
-        ev.cb();
     }
     return n;
 }

@@ -6,17 +6,40 @@
  * scheduled at the same virtual time fire in scheduling order.  All
  * "concurrency" in the simulated machine (28 cores, devices, interrupt
  * handlers) is expressed as interleaved events over virtual time.
+ * Many engines can coexist in one process (one per worker thread in a
+ * `damn_bench --jobs` sweep); an Engine never touches shared state.
+ *
+ * Internals are built for dispatch rate, the simulator's wall-clock
+ * bottleneck:
+ *
+ *  - the ready queue is a flat 4-ary heap of 24-byte nodes
+ *    (when/seq/slot) — shallower than a binary heap and sift paths
+ *    touch four children per cache line instead of two per two;
+ *  - callbacks live in a slab of generation-tagged slots as SmallFn
+ *    values (48-byte inline buffer, see sim/small_fn.hh), so
+ *    schedule() and dispatch are allocation-free for every callback
+ *    in tree;
+ *  - cancel() is O(1) and allocation-free: it frees the slot and bumps
+ *    its generation, leaving a stale heap node that is recognized (by
+ *    sequence mismatch) and skipped when it surfaces — no
+ *    unordered_set, no per-pop hash lookup;
+ *  - events sharing the minimal timestamp are popped as one batch
+ *    before any of them runs, so the per-event loop does one heap
+ *    operation and no repeated `until` comparisons.
+ *
+ * Handles returned by schedule() encode (slot, generation); a handle
+ * whose event already dispatched or was already cancelled is simply
+ * stale — cancel() returns false and corrupts no bookkeeping, and
+ * pending() is exact at all times.
  */
 
 #ifndef DAMN_SIM_ENGINE_HH
 #define DAMN_SIM_ENGINE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace damn::sim {
@@ -28,7 +51,7 @@ namespace damn::sim {
 class Engine
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
     Engine() = default;
     Engine(const Engine &) = delete;
@@ -47,10 +70,13 @@ class Engine
     {
         if (when < now_)
             when = now_;
-        const std::uint64_t id = nextId_++;
-        queue_.push(Event{when, id, std::move(cb)});
+        const std::uint32_t slot = acquireSlot();
+        Slot &s = slots_[slot];
+        s.cb = std::move(cb);
+        s.seq = nextSeq_++;
+        heapPush(HeapNode{when, s.seq, slot});
         ++live_;
-        return id;
+        return handleOf(slot, s.gen);
     }
 
     /** Schedule a callback @p delay ns from now. */
@@ -61,17 +87,25 @@ class Engine
     }
 
     /**
-     * Cancel a previously scheduled event.  Cancellation is lazy: the
-     * event stays in the queue but is skipped when popped.
-     * @return true if the handle was live.
+     * Cancel a previously scheduled event: O(1), allocation-free.  The
+     * callback is destroyed immediately; its heap node stays behind
+     * and is skipped (by generation/sequence mismatch) when popped.
+     * @return true if the handle was live; false for handles whose
+     * event already dispatched or was already cancelled (stale handles
+     * are recognized exactly — they never perturb bookkeeping).
      */
     bool
     cancel(std::uint64_t id)
     {
-        const bool fresh = cancelled_.insert(id).second;
-        if (fresh)
-            --live_;
-        return fresh;
+        const std::uint32_t slot = slotOf(id);
+        if (slot >= slots_.size())
+            return false;
+        Slot &s = slots_[slot];
+        if (s.gen != genOf(id) || s.seq == 0)
+            return false;
+        releaseSlot(slot);
+        --live_;
+        return true;
     }
 
     /**
@@ -91,32 +125,85 @@ class Engine
     std::uint64_t dispatched() const { return dispatched_; }
 
   private:
-    struct Event
+    /** One ready-queue entry; `seq` both orders same-time events FIFO
+     *  and detects stale nodes whose slot was cancelled or reused. */
+    struct HeapNode
     {
         TimeNs when;
-        std::uint64_t id; // tie-breaker => FIFO among same-time events
-        Callback cb;
+        std::uint64_t seq;
+        std::uint32_t slot;
     };
 
-    struct Later
+    /** Callback storage cell.  seq == 0 means free (on the freelist);
+     *  gen counts reuses so stale handles/nodes are recognized. */
+    struct Slot
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
-        }
+        SmallFn cb;
+        std::uint64_t seq = 0;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNoSlot;
     };
+
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    static std::uint64_t
+    handleOf(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (std::uint64_t(gen) << 32) | slot;
+    }
+    static std::uint32_t slotOf(std::uint64_t id)
+    {
+        return std::uint32_t(id);
+    }
+    static std::uint32_t genOf(std::uint64_t id)
+    {
+        return std::uint32_t(id >> 32);
+    }
+
+    std::uint32_t
+    acquireSlot()
+    {
+        if (freeHead_ != kNoSlot) {
+            const std::uint32_t slot = freeHead_;
+            freeHead_ = slots_[slot].nextFree;
+            return slot;
+        }
+        slots_.emplace_back();
+        return std::uint32_t(slots_.size() - 1);
+    }
+
+    void
+    releaseSlot(std::uint32_t slot)
+    {
+        Slot &s = slots_[slot];
+        s.cb.reset();
+        s.seq = 0;
+        ++s.gen;
+        s.nextFree = freeHead_;
+        freeHead_ = slot;
+    }
+
+    /** Earlier-fires-first: (when, seq) lexicographic. */
+    static bool
+    before(const HeapNode &a, const HeapNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void heapPush(HeapNode node);
+    void heapPop();
+
+    static constexpr unsigned kArity = 4;
 
     TimeNs now_ = 0;
-    std::uint64_t nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::uint64_t live_ = 0;
     std::uint64_t dispatched_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
-    // Lazily-cancelled event ids; kept small because entries are erased
-    // when the matching event is popped.
-    std::unordered_set<std::uint64_t> cancelled_;
+    std::vector<HeapNode> heap_;
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = kNoSlot;
 };
 
 } // namespace damn::sim

@@ -99,6 +99,13 @@ class MemBwServer
     utilization(TimeNs now) const
     {
         const std::uint64_t idx = now / kBucketNs;
+        // Hot-path memo: per-packet copy costing asks for utilization
+        // many times between load changes; the answer depends only on
+        // the bucket index and the load table, so replay it until
+        // either moves.  Pure caching — identical values, and thereby
+        // identical simulated output, with or without the memo.
+        if (idx == memoIdx_ && !memoStale_)
+            return memoUtil_;
         const std::uint64_t lo = idx >= kWindowBuckets
             ? idx - kWindowBuckets : 0;
         double sum = 0.0;
@@ -107,7 +114,10 @@ class MemBwServer
             if (bucketEpoch_[slot] == i)
                 sum += loadNs_[slot];
         }
-        return sum / (double(kWindowBuckets) * kBucketNs);
+        memoIdx_ = idx;
+        memoUtil_ = sum / (double(kWindowBuckets) * kBucketNs);
+        memoStale_ = false;
+        return memoUtil_;
     }
 
     /**
@@ -156,6 +166,7 @@ class MemBwServer
             loadNs_[slot] = 0.0;
         }
         loadNs_[slot] += service_ns;
+        memoStale_ = true;
     }
 
     double bytesPerNs_;
@@ -163,6 +174,9 @@ class MemBwServer
     std::uint64_t totalBytes_ = 0;
     std::array<double, kBuckets> loadNs_{};
     std::array<std::uint64_t, kBuckets> bucketEpoch_{};
+    mutable std::uint64_t memoIdx_ = ~std::uint64_t{0};
+    mutable double memoUtil_ = 0.0;
+    mutable bool memoStale_ = true;
 };
 
 } // namespace damn::sim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable, the engine's event
+ * callback representation.
+ *
+ * `std::function` heap-allocates for any capture list larger than its
+ * (implementation-defined, typically two-pointer) inline buffer, and
+ * the simulator's event callbacks routinely capture `this` plus a few
+ * words of state — every schedule() paid an allocation and every
+ * dispatch an indirect-through-heap call.  SmallFn fixes the inline
+ * buffer at 48 bytes (covers every callback in tree; checked with a
+ * static_assert at each capture-heavy call site that cares) and falls
+ * back to a single heap cell only beyond that, so the common path is
+ * allocation-free and the callable body sits in the same cache lines
+ * as the event bookkeeping.
+ *
+ * Move-only on purpose: event callbacks are dispatched exactly once
+ * and priority-queue reshuffling only ever relocates them.
+ */
+
+#ifndef DAMN_SIM_SMALL_FN_HH
+#define DAMN_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace damn::sim {
+
+/** Move-only `void()` callable with a 48-byte inline buffer. */
+class SmallFn
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFn(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(store_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            // Oversized capture: one owning pointer in the buffer.
+            ::new (static_cast<void *>(store_))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** Destroy the held callable (if any); empty afterwards. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(store_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void operator()() { ops_->invoke(store_); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *src, void *dst) noexcept {
+            Fn *f = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *p) noexcept { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *src, void *dst) noexcept {
+            ::new (dst) Fn *(*static_cast<Fn **>(src));
+        },
+        [](void *p) noexcept { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(other.store_, store_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char store_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_SMALL_FN_HH

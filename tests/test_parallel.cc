@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Parallel-determinism suite (ctest label `par`): the --jobs worker
+ * pool must be invisible in every output byte.  Runs the driver
+ * in-process at --jobs=1 and --jobs=8 over two seeds and asserts the
+ * serialized JSON report and the Chrome trace are byte-identical; also
+ * covers the unit decomposition/merge corners (repeat reps, glob
+ * subsets, worker-pool exception propagation).
+ *
+ * Built into the verify-tsan tree as well: under -fsanitize=thread the
+ * jobs=8 cases double as a data-race audit of the whole
+ * experiment/workload/sim stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/driver.hh"
+
+using namespace damn;
+
+namespace {
+
+exp::DriverOptions
+smallOpts(const std::string &only, std::uint64_t seed, unsigned jobs,
+          unsigned repeat = 1)
+{
+    exp::DriverOptions o;
+    o.only = only;
+    o.seed = seed;
+    o.jobs = jobs;
+    o.repeat = repeat;
+    o.warmupNs = 1 * sim::kNsPerMs;
+    o.measureNs = 2 * sim::kNsPerMs;
+    // Non-empty trace path => experiments record trace events, so the
+    // comparison covers the event rings and the Chrome exporter too.
+    o.tracePath = "unused-in-process";
+    return o;
+}
+
+struct Serialized
+{
+    std::string json;
+    std::string trace;
+};
+
+Serialized
+serialize(const exp::DriverOptions &o)
+{
+    const exp::Report r = exp::runExperiments(o);
+    return {exp::reportJson(r).dump(), exp::chromeTraceForReport(r)};
+}
+
+} // namespace
+
+TEST(Parallel, JobsProduceByteIdenticalOutputAcrossSeeds)
+{
+    // netperf_stream attaches full trace bundles (fig4 reports only
+    // stats snapshots), so the trace comparison is non-vacuous.
+    for (const std::uint64_t seed : {42ull, 1234ull}) {
+        const Serialized serial =
+            serialize(smallOpts("netperf_stream", seed, 1));
+        const Serialized parallel =
+            serialize(smallOpts("netperf_stream", seed, 8));
+        EXPECT_EQ(serial.json, parallel.json) << "seed " << seed;
+        EXPECT_EQ(serial.trace, parallel.trace) << "seed " << seed;
+        EXPECT_GT(serial.trace.size(), 1000u)
+            << "trace suspiciously small; comparison would be vacuous";
+    }
+}
+
+TEST(Parallel, RepeatRepsMergeInOrder)
+{
+    const Serialized serial = serialize(smallOpts("fig4*", 42, 1, 3));
+    const Serialized parallel =
+        serialize(smallOpts("fig4*", 42, 8, 3));
+    EXPECT_EQ(serial.json, parallel.json);
+    EXPECT_EQ(serial.trace, parallel.trace);
+    // Reps really are distinct units: rep=0/1/2 all present.
+    for (const char *tag : {"\"rep\": \"0\"", "\"rep\": \"1\"",
+                            "\"rep\": \"2\""})
+        EXPECT_NE(serial.json.find(tag), std::string::npos) << tag;
+}
+
+TEST(Parallel, MultiExperimentSelectionKeepsRegistrationOrder)
+{
+    // A glob spanning several experiments; order in the report must be
+    // the sorted registry order regardless of which worker finishes
+    // first.
+    const Serialized serial = serialize(smallOpts("fig*", 7, 1));
+    const Serialized parallel = serialize(smallOpts("fig*", 7, 8));
+    EXPECT_EQ(serial.json, parallel.json);
+    EXPECT_EQ(serial.trace, parallel.trace);
+}
+
+TEST(Parallel, EffectiveJobsDefaultsToHardware)
+{
+    exp::DriverOptions o;
+    EXPECT_GE(exp::effectiveJobs(o), 1u);
+    o.jobs = 5;
+    EXPECT_EQ(exp::effectiveJobs(o), 5u);
+}
+
+TEST(Parallel, JobsFlagParses)
+{
+    exp::DriverOptions o;
+    std::string err;
+    const char *argv[] = {"damn_bench", "--jobs=8"};
+    ASSERT_TRUE(exp::parseArgs(2, argv, &o, &err)) << err;
+    EXPECT_EQ(o.jobs, 8u);
+
+    exp::DriverOptions bad;
+    const char *argv0[] = {"damn_bench", "--jobs=0"};
+    EXPECT_FALSE(exp::parseArgs(2, argv0, &bad, &err));
+    const char *argvx[] = {"damn_bench", "--jobs=x"};
+    EXPECT_FALSE(exp::parseArgs(2, argvx, &bad, &err));
+}
+
+TEST(Parallel, WorkerExceptionPropagates)
+{
+    // Register a throwing experiment on the fly; the pool must join
+    // cleanly and rethrow on the caller's thread.
+    static const bool reg [[maybe_unused]] =
+        exp::registerExperiment([] {
+            exp::Experiment e;
+            e.name = "zz_test_parallel_throws";
+            e.title = "always throws (test fixture)";
+            e.paper = "test";
+            e.run = [](exp::RunCtx &) {
+                throw std::runtime_error("unit failure");
+            };
+            return e;
+        }());
+    exp::DriverOptions o = smallOpts("zz_test_parallel_throws", 42, 4);
+    o.repeat = 4; // several units so the pool actually spins up
+    EXPECT_THROW(exp::runExperiments(o), std::runtime_error);
+}

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <vector>
+
 #include "sim/context.hh"
 #include "sim/cpu_cursor.hh"
 #include "sim/sim_mutex.hh"
@@ -139,6 +143,109 @@ TEST(Engine, DispatchedCounts)
         e.schedule(TimeNs(i), [] {});
     e.runAll();
     EXPECT_EQ(e.dispatched(), 5u);
+}
+
+// Regression: the seed engine recorded a cancel of an already-
+// dispatched id in its lazy-cancel set forever and decremented the
+// live count below the true number of pending events.  Stale handles
+// must be recognized exactly.
+TEST(Engine, CancelAfterDispatchIsRejected)
+{
+    Engine e;
+    int fired = 0;
+    const auto id = e.schedule(10, [&] { ++fired; });
+    e.schedule(50, [&] { ++fired; });
+    e.run(20);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.pending(), 1u);
+    EXPECT_FALSE(e.cancel(id)); // already dispatched: stale handle
+    EXPECT_EQ(e.pending(), 1u); // live count not corrupted
+    e.runAll();
+    EXPECT_EQ(fired, 2);        // the remaining event still fires
+    EXPECT_EQ(e.pending(), 0u);
+}
+
+// A stale handle must never cancel an unrelated newer event, even when
+// the newer event reuses the old event's internal storage slot.
+TEST(Engine, StaleHandleCannotCancelSlotReuse)
+{
+    Engine e;
+    int fired = 0;
+    const auto old_id = e.schedule(10, [&] { ++fired; });
+    e.run(10); // dispatches and frees the slot
+    EXPECT_EQ(fired, 1);
+    e.schedule(20, [&] { ++fired; }); // reuses the freed slot
+    EXPECT_FALSE(e.cancel(old_id));
+    EXPECT_EQ(e.pending(), 1u);
+    e.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CancelledThenReusedSlotKeepsPendingExact)
+{
+    Engine e;
+    int fired = 0;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 16; ++i)
+        ids.push_back(e.schedule(TimeNs(100 + i), [&] { ++fired; }));
+    for (const auto id : ids)
+        EXPECT_TRUE(e.cancel(id));
+    EXPECT_EQ(e.pending(), 0u);
+    for (const auto id : ids)
+        EXPECT_FALSE(e.cancel(id)); // double-cancel of every handle
+    // Reuse the freed slots; old handles must stay dead.
+    for (int i = 0; i < 16; ++i)
+        e.schedule(TimeNs(200 + i), [&] { ++fired; });
+    EXPECT_EQ(e.pending(), 16u);
+    e.runAll();
+    EXPECT_EQ(fired, 16);
+    EXPECT_EQ(e.dispatched(), 16u);
+}
+
+// A same-timestamp batch member cancelled by an earlier member's
+// callback must not fire.
+TEST(Engine, CancelWithinSameTimestampBatch)
+{
+    Engine e;
+    int fired = 0;
+    std::uint64_t victim = 0;
+    e.schedule(10, [&] { e.cancel(victim); });
+    victim = e.schedule(10, [&] { ++fired; });
+    e.schedule(10, [&] { ++fired; });
+    e.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.pending(), 0u);
+}
+
+// Events scheduled *at the current instant* from inside a batch fire
+// after the whole batch, in scheduling order.
+TEST(Engine, SameInstantScheduleFromBatchRunsAfterBatch)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(10, [&] {
+        order.push_back(1);
+        e.scheduleIn(0, [&] { order.push_back(3); });
+    });
+    e.schedule(10, [&] { order.push_back(2); });
+    e.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Callbacks larger than SmallFn's inline buffer must still work (heap
+// fallback path).
+TEST(Engine, OversizedCallbackFallsBackToHeap)
+{
+    Engine e;
+    std::array<std::uint64_t, 16> payload{};
+    payload.fill(7);
+    std::uint64_t sum = 0;
+    e.schedule(5, [payload, &sum] {
+        for (const auto v : payload)
+            sum += v;
+    });
+    e.runAll();
+    EXPECT_EQ(sum, 16u * 7u);
 }
 
 // ---------------------------------------------------------------------
