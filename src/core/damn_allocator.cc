@@ -114,7 +114,7 @@ DamnAllocator::isDamnBuffer(mem::Pa addr) const
 const DmaCache &
 DamnAllocator::cacheOf(mem::Pa addr) const
 {
-    const mem::Pfn head = headOf(addr);
+    [[maybe_unused]] const mem::Pfn head = headOf(addr);
     assert(head != mem::kInvalidPfn);
     const std::uint32_t id = pageAlloc_.phys().page(head + 1).priv2;
     return *caches_.at(id);
@@ -136,7 +136,7 @@ DamnAllocator::rightsOf(mem::Pa addr) const
 iommu::DomainId
 DamnAllocator::domainOf(mem::Pa addr) const
 {
-    const mem::Pfn head = headOf(addr);
+    [[maybe_unused]] const mem::Pfn head = headOf(addr);
     assert(head != mem::kInvalidPfn);
     return cacheOf(addr).domain();
 }

@@ -104,6 +104,26 @@ class DamnDmaApi : public dma::DmaApi
         return fallback_->outstandingIovas();
     }
 
+    // DAMN's own IOVAs are metadata-encoded (not range-allocated), so
+    // the pressure knobs act on the fallback scheme's space.
+    void
+    setIovaSpaceBytes(std::uint64_t bytes) override
+    {
+        fallback_->setIovaSpaceBytes(bytes);
+    }
+
+    double
+    iovaUtilization() const override
+    {
+        return fallback_->iovaUtilization();
+    }
+
+    std::uint64_t
+    mapFailures() const override
+    {
+        return fallback_->mapFailures();
+    }
+
     const char *name() const override { return "damn"; }
     bool subpage() const override { return true; }
     bool windowFree() const override { return true; }

@@ -70,10 +70,18 @@ DmaCache::allocChunkIova(sim::CoreId creating_core)
         slot = freeSlots_.back();
         freeSlots_.pop_back();
     } else {
-        slot = nextSlot_++;
+        // Only fresh slots can run off the end of the encoded offset
+        // field; recycled ones fit by construction.  Fail soft — every
+        // encoded IOVA has kDamnIovaBit set, so 0 is an unambiguous
+        // invalid sentinel for the caller's OOM path.
+        slot = nextSlot_;
+        if (slot * chunk_bytes > kOffsetMask) {
+            ctx_.stats.add("damn.iova_region_exhausted");
+            return 0;
+        }
+        ++nextSlot_;
     }
     const std::uint64_t offset = slot * chunk_bytes;
-    assert(offset <= kOffsetMask && "DMA-cache IOVA region exhausted");
     return encodeIova(creating_core, rights_, devIdx_, numa_, offset);
 }
 
@@ -181,6 +189,14 @@ DmaCache::allocChunk(sim::CpuCursor &cpu)
 
     if (config_.mapInIommu) {
         c.iova = allocChunkIova(cpu.id());
+        if (c.iova == 0) {
+            // Encoded-IOVA region exhausted: give the pages back and
+            // propagate the failure like a page-allocator miss.
+            cpu.charge(ctx_.cost.pageAllocNs);
+            pageAlloc_.freePages(c.pfn, order);
+            ctx_.stats.add("damn.chunk_alloc_fails");
+            return Chunk{};
+        }
         cpu.charge(ctx_.cost.ptePerPageNs * config_.chunkPages);
         for (unsigned i = 0; i < config_.chunkPages; ++i) {
             const bool ok = iommu_.mapPage(
@@ -212,7 +228,7 @@ DmaCache::releaseChunk(sim::CpuCursor &cpu, const Chunk &c)
 {
     assert(!config_.hugeIovaPages &&
            "huge-page variant chunks are never released (analysis only)");
-    auto &pm = pageAlloc_.phys();
+    [[maybe_unused]] auto &pm = pageAlloc_.phys();
     assert(pm.page(c.pfn).refcount == 0 && "releasing a live chunk");
 
     if (config_.mapInIommu) {

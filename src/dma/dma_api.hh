@@ -28,6 +28,14 @@
 
 namespace damn::dma {
 
+/**
+ * Returned by DmaApi::map when the scheme cannot produce a mapping
+ * (IOVA space or shadow-pool memory exhausted even after forced
+ * reclaim).  Drivers treat it like a failed dma_map_single(): back off
+ * and retry, never program it into a device.
+ */
+constexpr iommu::Iova kMapFailed = ~iommu::Iova{0};
+
 /** DMA direction, as in the Linux DMA API. */
 enum class Dir
 {
@@ -61,7 +69,9 @@ class DmaApi
     /**
      * Map @p len bytes at kernel address @p pa for DMA by @p dev.
      * Charges the scheme's CPU costs to @p cpu.
-     * @return the DMA address to program into the device.
+     * @return the DMA address to program into the device, or
+     *         kMapFailed when the scheme's resources are exhausted and
+     *         forced reclaim could not recover them.
      */
     virtual iommu::Iova map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
                             std::uint32_t len, Dir dir) = 0;
@@ -108,6 +118,21 @@ class DmaApi
 
     /** Force any batched invalidations out now (deferred scheme). */
     virtual void flushPending(sim::CpuCursor &) {}
+
+    // ---- Resource pressure -----------------------------------------
+
+    /**
+     * Constrain the scheme's DMA-API IOVA space to @p bytes (pressure
+     * experiments use small spaces to hit the exhaustion wall).
+     * No-op for schemes that allocate no IOVAs.
+     */
+    virtual void setIovaSpaceBytes(std::uint64_t) {}
+
+    /** High-water utilization of the scheme's IOVA space in [0, 1]. */
+    virtual double iovaUtilization() const { return 0.0; }
+
+    /** Failed map() calls (resources exhausted past reclaim). */
+    virtual std::uint64_t mapFailures() const { return 0; }
 
     // ---- Lifecycle / teardown --------------------------------------
 

@@ -35,6 +35,37 @@ schemeKindName(SchemeKind k)
 // ---------------------------------------------------------------------
 
 iommu::Iova
+MappedDmaApi::allocIovaWithReclaim(sim::CpuCursor &cpu, unsigned pages)
+{
+    iommu::Iova iova = iovaAlloc_.alloc(pages);
+    if (iova != iommu::kInvalidIova)
+        return iova;
+
+    // IOVA space exhausted.  The kernel's fallback (the fq_ring flush
+    // in iova_rcache): force the batched invalidations out now, which
+    // under the deferred scheme frees every pinned range, then retry.
+    ctx_.stats.add("iommu.iova_exhausted");
+    ctx_.stats.add("iommu.iova_forced_flushes");
+    ctx_.tracer.instant(cpu.id(), sim::TraceCat::Fault,
+                        "iommu.iova_forced_flush", cpu.time, 0, pages);
+    flushPending(cpu);
+    iova = iovaAlloc_.alloc(pages);
+    if (iova != iommu::kInvalidIova) {
+        ctx_.stats.add("iommu.iova_flush_recoveries");
+        return iova;
+    }
+
+    // The flush was not enough (strict has nothing batched; or every
+    // range is genuinely live).  Last resort: generic pressure reclaim
+    // — shrink whatever registered a reclaimer — and one final retry.
+    ctx_.pressure.reclaim(cpu);
+    iova = iovaAlloc_.alloc(pages);
+    if (iova != iommu::kInvalidIova)
+        ctx_.stats.add("iommu.iova_reclaim_recoveries");
+    return iova;
+}
+
+iommu::Iova
 MappedDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
                   std::uint32_t len, Dir dir)
 {
@@ -49,7 +80,15 @@ MappedDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
     cpu.charge(ctx_.cost.iovaAllocNs);
     if (ctx_.rng.chance(ctx_.cost.iovaSlowPathRate))
         cpu.charge(ctx_.cost.iovaAllocSlowNs);
-    const iommu::Iova iova = iovaAlloc_.alloc(pages);
+    const iommu::Iova iova = allocIovaWithReclaim(cpu, pages);
+    if (iova == iommu::kInvalidIova) {
+        // Still exhausted after forced flush + reclaim: fail the map
+        // like dma_map_single() returning DMA_MAPPING_ERROR.  The
+        // driver backs off and retries.
+        ++mapFails_;
+        ctx_.stats.add("dma.map_fails");
+        return kMapFailed;
+    }
     ctx_.tracer.instant(cpu.id(), sim::TraceCat::DmaMap,
                         "dma.iova_alloc", cpu.time, 0, pages);
 
@@ -281,13 +320,31 @@ ShadowDmaApi::poolAlloc(sim::CpuCursor &cpu, Device &dev,
     if (freelist.empty()) {
         // Grow the pool: one order-5 (128 KiB) block carved into
         // bucket-size shadow buffers, mapped R/W *once*, permanently.
+        // Both the frames and the IOVA range can be exhausted under
+        // pressure; each failure sheds idle pools (plus whatever else
+        // registered a reclaimer) and retries once before giving up.
         const unsigned order = 5;
-        const mem::Pfn pfn =
+        mem::Pfn pfn =
             pageAlloc_.allocPages(order, dev.numa(), /*zero=*/true);
-        assert(pfn != mem::kInvalidPfn);
+        if (pfn == mem::kInvalidPfn) {
+            ctx_.stats.add("shadow.pool_grow_fails");
+            ctx_.pressure.reclaim(cpu);
+            pfn = pageAlloc_.allocPages(order, dev.numa(), /*zero=*/true);
+            if (pfn == mem::kInvalidPfn)
+                return ShadowBuf{0, 0, bucket};
+        }
+        iommu::Iova iova = iovaAlloc_.alloc(1u << order);
+        if (iova == iommu::kInvalidIova) {
+            ctx_.stats.add("iommu.iova_exhausted");
+            ctx_.pressure.reclaim(cpu);
+            iova = iovaAlloc_.alloc(1u << order);
+            if (iova == iommu::kInvalidIova) {
+                pageAlloc_.freePages(pfn, order);
+                return ShadowBuf{0, 0, bucket};
+            }
+        }
         poolFrames_ += 1u << order;
         const std::uint64_t block = mem::kPageSize << order;
-        const iommu::Iova iova = iovaAlloc_.alloc(1u << order);
         pool.blocks.emplace_back(pfn, iova);
         for (unsigned i = 0; i < (1u << order); ++i) {
             iommu_.mapPage(dev.domain(),
@@ -320,6 +377,13 @@ ShadowDmaApi::map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
                         "dma.map");
     span.bytes(len);
     ShadowBuf buf = poolAlloc(cpu, dev, len);
+    if (buf.pa == 0) {
+        // Pool growth failed even after reclaim: fail the map; the
+        // driver backs off and retries.
+        ++mapFails_;
+        ctx_.stats.add("dma.map_fails");
+        return kMapFailed;
+    }
 
     if (dir == Dir::ToDevice || dir == Dir::Bidirectional) {
         // Copy outbound data into the shadow buffer.  The source was
@@ -376,28 +440,13 @@ ShadowDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
 }
 
 std::uint64_t
-ShadowDmaApi::drainDomain(sim::CpuCursor &cpu, Device &dev)
+ShadowDmaApi::releasePool(sim::CpuCursor &cpu, iommu::DomainId d,
+                          Pool &pool)
 {
-    const iommu::DomainId d = dev.domain();
-    auto pit = pools_.find(d);
-    if (pit == pools_.end())
-        return 0;
-    Pool &pool = pit->second;
-
-    // In-flight maps die with the device: the data never arrives, so
-    // there is nothing to copy back — just drop the bookkeeping.  The
-    // shadow buffers return with their blocks below.
-    for (auto it = active_.begin(); it != active_.end();) {
-        if (it->second.domain == d) {
-            it = active_.erase(it);
-            ctx_.stats.add("shadow.aborted_maps");
-        } else {
-            ++it;
-        }
-    }
-
     // Release every backing block: unmap the permanent PTEs, free the
-    // frames, recycle the IOVA range.
+    // frames, recycle the IOVA range.  The bucket lists are emptied in
+    // place (not clear()ed away) so a poolAlloc holding a freelist
+    // reference across a nested reclaim stays valid.
     std::uint64_t released = 0;
     constexpr unsigned kBlockOrder = 5;
     constexpr unsigned kBlockPages = 1u << kBlockOrder;
@@ -415,9 +464,67 @@ ShadowDmaApi::drainDomain(sim::CpuCursor &cpu, Device &dev)
         released += kBlockPages;
     }
     pool.blocks.clear();
-    pool.buckets.clear();
+    for (auto &bucket : pool.buckets)
+        bucket.clear();
+    return released;
+}
+
+std::uint64_t
+ShadowDmaApi::drainDomain(sim::CpuCursor &cpu, Device &dev)
+{
+    const iommu::DomainId d = dev.domain();
+    auto pit = pools_.find(d);
+    if (pit == pools_.end())
+        return 0;
+
+    // In-flight maps die with the device: the data never arrives, so
+    // there is nothing to copy back — just drop the bookkeeping.  The
+    // shadow buffers return with their blocks below.
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second.domain == d) {
+            it = active_.erase(it);
+            ctx_.stats.add("shadow.aborted_maps");
+        } else {
+            ++it;
+        }
+    }
+
+    const std::uint64_t released = releasePool(cpu, d, pit->second);
     if (released > 0)
         ctx_.stats.add("shadow.drained_pages", released);
+    return released;
+}
+
+std::uint64_t
+ShadowDmaApi::shrinkIdle(sim::CpuCursor &cpu)
+{
+    // A pool block cannot be released while any shadow buffer carved
+    // from it is in flight, and buffers of all blocks mix in the
+    // bucket lists — so the shrink granularity is a whole domain with
+    // zero active maps.  Domains are walked in sorted order so reclaim
+    // stays deterministic.
+    std::vector<iommu::DomainId> idle;
+    for (const auto &[d, pool] : pools_) {
+        if (pool.blocks.empty())
+            continue;
+        bool busy = false;
+        for (const auto &[iova, am] : active_) {
+            (void)iova;
+            if (am.domain == d) {
+                busy = true;
+                break;
+            }
+        }
+        if (!busy)
+            idle.push_back(d);
+    }
+    std::sort(idle.begin(), idle.end());
+
+    std::uint64_t released = 0;
+    for (const iommu::DomainId d : idle)
+        released += releasePool(cpu, d, pools_[d]);
+    if (released > 0)
+        ctx_.stats.add("shadow.shrunk_pages", released);
     return released;
 }
 

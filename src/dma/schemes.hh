@@ -83,6 +83,20 @@ class MappedDmaApi : public DmaApi
         return iovaAlloc_.outstanding();
     }
 
+    void
+    setIovaSpaceBytes(std::uint64_t bytes) override
+    {
+        iovaAlloc_.setSpaceBytes(bytes);
+    }
+
+    double
+    iovaUtilization() const override
+    {
+        return iovaAlloc_.utilization();
+    }
+
+    std::uint64_t mapFailures() const override { return mapFails_; }
+
   protected:
     /** Covering page count of a (pa, len) buffer. */
     static unsigned
@@ -99,9 +113,20 @@ class MappedDmaApi : public DmaApi
                    std::uint32_t len, iommu::Iova *iova_base,
                    unsigned *pages);
 
+    /**
+     * IOVA allocation with the kernel's fq_ring-style fallback: on
+     * exhaustion, force the scheme's batched invalidations out (which
+     * recycles pinned ranges under the deferred scheme), then fall
+     * back to generic pressure reclaim, retrying after each step.
+     * @return the range, or iommu::kInvalidIova when still exhausted.
+     */
+    iommu::Iova allocIovaWithReclaim(sim::CpuCursor &cpu,
+                                     unsigned pages);
+
     sim::Context &ctx_;
     iommu::Iommu &iommu_;
     iommu::IovaAllocator iovaAlloc_;
+    std::uint64_t mapFails_ = 0;
 };
 
 /**
@@ -185,6 +210,29 @@ class ShadowDmaApi : public DmaApi
     /** Frames pinned by shadow pools (all devices). */
     std::uint64_t poolFrames() const { return poolFrames_; }
 
+    void
+    setIovaSpaceBytes(std::uint64_t bytes) override
+    {
+        iovaAlloc_.setSpaceBytes(bytes);
+    }
+
+    double
+    iovaUtilization() const override
+    {
+        return iovaAlloc_.utilization();
+    }
+
+    std::uint64_t mapFailures() const override { return mapFails_; }
+
+    /**
+     * Pressure shrinker: release the pool blocks of every domain with
+     * no in-flight shadow map (blocks cannot be released piecemeal —
+     * live shadow buffers are scattered across them).  Registered with
+     * the PressureController; also safe to call directly.
+     * @return 4 KiB pages released.
+     */
+    std::uint64_t shrinkIdle(sim::CpuCursor &cpu);
+
     /**
      * Teardown: abort in-flight shadow maps for @p dev's domain, unmap
      * and free every pool block, and release the IOVAs.  The pool is
@@ -225,10 +273,14 @@ class ShadowDmaApi : public DmaApi
 
     static unsigned bucketFor(std::uint32_t len);
     mem::PhysicalMemory &pm() { return pageAlloc_.phys(); }
+    /** Returns a buf with pa == 0 when pool growth fails (pressure). */
     ShadowBuf poolAlloc(sim::CpuCursor &cpu, Device &dev,
                         std::uint32_t len);
     void poolFree(Device &dev, const ShadowBuf &buf);
     Pool &poolOf(Device &dev);
+    /** Unmap + free every backing block of @p pool (domain @p d). */
+    std::uint64_t releasePool(sim::CpuCursor &cpu, iommu::DomainId d,
+                              Pool &pool);
 
     sim::Context &ctx_;
     iommu::Iommu &iommu_;
@@ -237,6 +289,7 @@ class ShadowDmaApi : public DmaApi
     std::unordered_map<iommu::DomainId, Pool> pools_;
     std::unordered_map<iommu::Iova, ActiveMap> active_;
     std::uint64_t poolFrames_ = 0;
+    std::uint64_t mapFails_ = 0;
 };
 
 /**

@@ -59,6 +59,8 @@ DAMN_EXPERIMENT(fig11_nvme)
                 ctx.out.common(r.common);
                 ctx.out.metric("gbytes_per_sec", r.throughputGBps,
                                "GB/s");
+                ctx.out.metric("failed_ios", double(r.failedIos),
+                               "ios");
             }
         }
     };

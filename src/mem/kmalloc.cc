@@ -19,11 +19,16 @@ KmallocHeap::classFor(std::uint32_t size)
     return unsigned(kClasses.size()) - 1;
 }
 
-void
+bool
 KmallocHeap::refill(unsigned cls)
 {
     const Pfn pfn = pa_.allocPages(0, 0, /*zero=*/false);
-    assert(pfn != kInvalidPfn && "kernel heap exhausted");
+    if (pfn == kInvalidPfn) {
+        // Kernel heap exhausted: surface the failure so kmalloc can
+        // honor its "0 on exhaustion" contract.
+        ++refillFails_;
+        return false;
+    }
     Page &pg = pa_.phys().page(pfn);
     pg.set(PG_slab);
     pg.slabClass = cls;
@@ -36,6 +41,7 @@ KmallocHeap::refill(unsigned cls)
     // consecutive allocations land adjacent on the same page.
     for (std::uint64_t off = kPageSize; off >= obj; off -= obj)
         slabs_[cls].freeList.push_back(base + off - obj);
+    return true;
 }
 
 Pa
@@ -44,8 +50,8 @@ KmallocHeap::kmalloc(std::uint32_t size)
     assert(size > 0);
     const unsigned cls = classFor(size);
     auto &slab = slabs_[cls];
-    if (slab.freeList.empty())
-        refill(cls);
+    if (slab.freeList.empty() && !refill(cls))
+        return 0;
     const Pa addr = slab.freeList.back();
     slab.freeList.pop_back();
     allocatedBytes_ += kClasses[cls];

@@ -60,6 +60,8 @@ class KmallocHeap
     std::uint64_t liveObjects() const { return liveObjects_; }
     /** Pages pinned by the heap (partially-full slabs included). */
     std::uint64_t pinnedPages() const { return pinnedPages_; }
+    /** Slab refills that failed (page allocator exhausted). */
+    std::uint64_t refillFails() const { return refillFails_; }
 
   private:
     struct SlabClass
@@ -68,13 +70,15 @@ class KmallocHeap
         std::uint64_t pages = 0;
     };
 
-    void refill(unsigned cls);
+    /** Grow a size class by one slab page; false on page exhaustion. */
+    bool refill(unsigned cls);
 
     PageAllocator &pa_;
     std::vector<SlabClass> slabs_;
     std::uint64_t allocatedBytes_ = 0;
     std::uint64_t liveObjects_ = 0;
     std::uint64_t pinnedPages_ = 0;
+    std::uint64_t refillFails_ = 0;
 };
 
 } // namespace damn::mem

@@ -42,6 +42,10 @@ class PageFragAllocator
     /**
      * Allocate @p size bytes (<= 32 KiB) from the calling core's
      * current block.
+     * @return the fragment's address, or 0 when the buddy allocator
+     *         cannot back a fresh block (memory pressure) — the caller
+     *         backs off and retries, as the TX path does for a failed
+     *         sk_page_frag refill.
      */
     Pa
     alloc(sim::CpuCursor &cpu, std::uint32_t size)
@@ -53,7 +57,10 @@ class PageFragAllocator
             retire(cpu, b);
             cpu.charge(ctx_.cost.pageAllocNs);
             b.pfn = pageAlloc_.allocPages(kBlockOrder, cpu.numa());
-            assert(b.pfn != kInvalidPfn);
+            if (b.pfn == kInvalidPfn) {
+                ctx_.stats.add("mem.page_frag_fails");
+                return 0;
+            }
             b.offset = 0;
             Page &head = pageAlloc_.phys().page(b.pfn);
             head.set(PG_head);

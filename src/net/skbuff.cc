@@ -57,15 +57,31 @@ SkbAccessor::secureRange(sim::CpuCursor &cpu, SkBuff &skb,
         SegOwner owner;
         if (n <= 4096) {
             safe = heap_.kmalloc(n);
+            if (safe == 0) {
+                ctx_.pressure.reclaim(cpu);
+                safe = heap_.kmalloc(n);
+            }
             owner = SegOwner::Kmalloc;
             cpu.charge(ctx_.cost.kmallocNs);
         } else {
             unsigned order = 0;
             while ((mem::kPageSize << order) < n)
                 ++order;
-            safe = mem::pfnToPa(pageAlloc_.allocPages(order, cpu.numa()));
+            mem::Pfn pfn = pageAlloc_.allocPages(order, cpu.numa());
+            if (pfn == mem::kInvalidPfn) {
+                ctx_.pressure.reclaim(cpu);
+                pfn = pageAlloc_.allocPages(order, cpu.numa());
+            }
+            safe = pfn == mem::kInvalidPfn ? 0 : mem::pfnToPa(pfn);
             owner = SegOwner::Pages;
             cpu.charge(ctx_.cost.pageAllocNs);
+        }
+        if (safe == 0) {
+            // No kernel memory to copy into, even after reclaim: leave
+            // the range in device-visible memory (degraded protection,
+            // counted) instead of crashing the consumer.
+            ctx_.stats.add("skb.secure_fails");
+            continue;
         }
         cpu.charge(ctx_.copyCost(
             cpu.time, n, ctx_.cost.warmCopyBytesPerNs,

@@ -63,6 +63,8 @@ class SkBuff
     std::vector<SkbSegment> segs;
     dma::Device *dev = nullptr;     //!< originating/target device
     std::uint32_t headerLen = 66;   //!< Ethernet+IP+TCP header bytes
+    /** Build gave up under memory pressure; drop + retry, don't send. */
+    bool allocFailed = false;
 
     /** Total packet bytes. */
     std::uint32_t

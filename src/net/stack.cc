@@ -37,16 +37,25 @@ NicDriver::allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
 
     if (sys_.damnMode()) {
         // dma_alloc_skb flavor: buffer comes from DAMN, device-writable.
-        const mem::Pfn pfn = sys_.damn->damnAllocPages(
+        mem::Pfn pfn = sys_.damn->damnAllocPages(
             cpu, &nic_, core::Rights::Write, order, actx);
+        if (pfn == mem::kInvalidPfn) {
+            sys_.ctx.pressure.reclaim(cpu);
+            pfn = sys_.damn->damnAllocPages(cpu, &nic_,
+                                            core::Rights::Write, order,
+                                            actx);
+        }
         if (pfn == mem::kInvalidPfn)
             return buf;
         buf.seg.pa = mem::pfnToPa(pfn);
         buf.seg.owner = SegOwner::Damn;
     } else {
         cpu.charge(sys_.ctx.cost.pageAllocNs);
-        const mem::Pfn pfn =
-            sys_.pageAlloc.allocPages(order, cpu.numa());
+        mem::Pfn pfn = sys_.pageAlloc.allocPages(order, cpu.numa());
+        if (pfn == mem::kInvalidPfn) {
+            sys_.ctx.pressure.reclaim(cpu);
+            pfn = sys_.pageAlloc.allocPages(order, cpu.numa());
+        }
         if (pfn == mem::kInvalidPfn)
             return buf;
         buf.seg.pa = mem::pfnToPa(pfn);
@@ -56,8 +65,20 @@ NicDriver::allocRxBuffer(sim::CpuCursor &cpu, std::uint32_t bytes,
 
     // Unmodified driver: always goes through the DMA API.  For DAMN
     // buffers the interposition returns the permanent IOVA.
-    buf.seg.dmaAddr = sys_.dmaApi->map(cpu, nic_, buf.seg.pa, bytes,
-                                       dma::Dir::FromDevice);
+    const iommu::Iova dma_addr = sys_.dmaApi->map(
+        cpu, nic_, buf.seg.pa, bytes, dma::Dir::FromDevice);
+    if (dma_addr == dma::kMapFailed) {
+        // IOVA space gone even after forced reclaim: give the memory
+        // back and report the refill failure to the caller.
+        SkBuff skb;
+        skb.dev = &nic_;
+        skb.append(buf.seg);
+        sys_.accessor().freeSkb(cpu, skb, actx);
+        buf.seg = SkbSegment{};
+        sys_.ctx.stats.add("net.rx_map_fails");
+        return buf;
+    }
+    buf.seg.dmaAddr = dma_addr;
     buf.seg.dmaLen = bytes;
     buf.seg.dmaMapped = true;
     return buf;
@@ -98,7 +119,7 @@ NicDriver::abortRxBuffer(sim::CpuCursor &cpu, RxBuffer buf,
     sys_.ctx.stats.add("net.rx_aborted_buffers");
 }
 
-void
+bool
 NicDriver::txMap(sim::CpuCursor &cpu, SkBuff &skb)
 {
     sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::NetDriver,
@@ -106,12 +127,21 @@ NicDriver::txMap(sim::CpuCursor &cpu, SkBuff &skb)
     for (SkbSegment &seg : skb.segs) {
         if (seg.len == 0)
             continue;
-        seg.dmaAddr = sys_.dmaApi->map(cpu, nic_, seg.pa, seg.len,
-                                       dma::Dir::ToDevice);
+        const iommu::Iova addr = sys_.dmaApi->map(
+            cpu, nic_, seg.pa, seg.len, dma::Dir::ToDevice);
+        if (addr == dma::kMapFailed) {
+            // Roll back the segments already mapped so nothing leaks;
+            // the caller drops the skb and backs off.
+            txUnmap(cpu, skb);
+            sys_.ctx.stats.add("net.tx_map_fails");
+            return false;
+        }
+        seg.dmaAddr = addr;
         seg.dmaLen = seg.len;
         seg.dmaDir = dma::Dir::ToDevice;
         seg.dmaMapped = true;
     }
+    return true;
 }
 
 void
@@ -219,11 +249,26 @@ TcpStack::txBuild(sim::CpuCursor &cpu, std::uint32_t seg_bytes,
     if (sys_.damnMode()) {
         head.pa = sys_.damn->damnAlloc(cpu, &nic_, core::Rights::Read,
                                        kTxHeadBytes, actx);
+        if (head.pa == 0) {
+            sys_.ctx.pressure.reclaim(cpu);
+            head.pa = sys_.damn->damnAlloc(cpu, &nic_,
+                                           core::Rights::Read,
+                                           kTxHeadBytes, actx);
+        }
         head.owner = SegOwner::Damn;
     } else {
         cpu.charge(c.kmallocNs);
         head.pa = sys_.heap.kmalloc(kTxHeadBytes);
+        if (head.pa == 0) {
+            sys_.ctx.pressure.reclaim(cpu);
+            head.pa = sys_.heap.kmalloc(kTxHeadBytes);
+        }
         head.owner = SegOwner::Kmalloc;
+    }
+    if (head.pa == 0) {
+        skb.allocFailed = true;
+        sys_.ctx.stats.add("net.tx_alloc_fails");
+        return skb;
     }
     skb.append(head);
 
@@ -236,15 +281,35 @@ TcpStack::txBuild(sim::CpuCursor &cpu, std::uint32_t seg_bytes,
         if (sys_.damnMode()) {
             frag.pa = sys_.damn->damnAlloc(cpu, &nic_,
                                            core::Rights::Read, n, actx);
+            if (frag.pa == 0) {
+                sys_.ctx.pressure.reclaim(cpu);
+                frag.pa = sys_.damn->damnAlloc(
+                    cpu, &nic_, core::Rights::Read, n, actx);
+            }
             frag.owner = SegOwner::Damn;
         } else {
             // Stock kernel: TX payload comes from the per-core
             // sk_page_frag bump allocator.
             frag.pa = sys_.pageFrag.alloc(cpu, n);
+            if (frag.pa == 0) {
+                sys_.ctx.pressure.reclaim(cpu);
+                frag.pa = sys_.pageFrag.alloc(cpu, n);
+            }
             frag.owner = SegOwner::PageFrag;
+        }
+        if (frag.pa == 0) {
+            skb.allocFailed = true;
+            break;
         }
         skb.append(frag);
         remaining -= n;
+    }
+    if (skb.allocFailed) {
+        // Memory pressure beat the reclaimers: free what was built and
+        // let the caller back off (flagged on the returned skb).
+        sys_.accessor().freeSkb(cpu, skb, actx);
+        sys_.ctx.stats.add("net.tx_alloc_fails");
+        return skb;
     }
 
     // copy_from_user of the payload: netperf cycles one send buffer,
@@ -254,7 +319,11 @@ TcpStack::txBuild(sim::CpuCursor &cpu, std::uint32_t seg_bytes,
     cpu.charge(sim::TimeNs(double(c.stackPerSegmentNs) * factor));
     cpu.charge(c.ackPerSegmentNs);
 
-    driver.txMap(cpu, skb);
+    if (!driver.txMap(cpu, skb)) {
+        sys_.accessor().freeSkb(cpu, skb, actx);
+        skb.allocFailed = true;
+        return skb;
+    }
     sys_.ctx.stats.add("net.tx_segments");
     sys_.ctx.stats.add("net.tx_bytes", seg_bytes);
     return skb;
@@ -279,11 +348,26 @@ TcpStack::txBuildZeroCopy(sim::CpuCursor &cpu,
     if (sys_.damnMode()) {
         head.pa = sys_.damn->damnAlloc(cpu, &nic_, core::Rights::Read,
                                        kTxHeadBytes, actx);
+        if (head.pa == 0) {
+            sys_.ctx.pressure.reclaim(cpu);
+            head.pa = sys_.damn->damnAlloc(cpu, &nic_,
+                                           core::Rights::Read,
+                                           kTxHeadBytes, actx);
+        }
         head.owner = SegOwner::Damn;
     } else {
         cpu.charge(c.kmallocNs);
         head.pa = sys_.heap.kmalloc(kTxHeadBytes);
+        if (head.pa == 0) {
+            sys_.ctx.pressure.reclaim(cpu);
+            head.pa = sys_.heap.kmalloc(kTxHeadBytes);
+        }
         head.owner = SegOwner::Kmalloc;
+    }
+    if (head.pa == 0) {
+        skb.allocFailed = true;
+        sys_.ctx.stats.add("net.tx_alloc_fails");
+        return skb;
     }
     skb.append(head);
 
@@ -303,7 +387,11 @@ TcpStack::txBuildZeroCopy(sim::CpuCursor &cpu,
     assert(remaining == 0 && "not enough file pages for seg_bytes");
 
     cpu.charge(sim::TimeNs(double(c.stackPerSegmentNs) * factor));
-    driver.txMap(cpu, skb);
+    if (!driver.txMap(cpu, skb)) {
+        sys_.accessor().freeSkb(cpu, skb, actx);
+        skb.allocFailed = true;
+        return skb;
+    }
     sys_.ctx.stats.add("net.tx_zerocopy_segments");
     return skb;
 }

@@ -72,8 +72,13 @@ class NicDriver
     void abortRxBuffer(sim::CpuCursor &cpu, RxBuffer buf,
                        core::AllocCtx actx = core::AllocCtx::Interrupt);
 
-    /** Map every segment of a TX skb (scatter-gather). */
-    void txMap(sim::CpuCursor &cpu, SkBuff &skb);
+    /**
+     * Map every segment of a TX skb (scatter-gather).
+     * @return false when a segment's dma_map failed (resources
+     *         exhausted); already-mapped segments are rolled back and
+     *         the caller must drop the skb and back off.
+     */
+    bool txMap(sim::CpuCursor &cpu, SkBuff &skb);
 
     /** Unmap every mapped segment (TX completion path). */
     void txUnmap(sim::CpuCursor &cpu, SkBuff &skb);

@@ -206,6 +206,23 @@ StreamEngine::pumpTx(std::size_t fi)
     auto skb = std::make_shared<SkBuff>(
         stack_.txBuild(cpu, f.spec.segBytes, config_.costFactor,
                        core::AllocCtx::Standard));
+    if (skb->allocFailed) {
+        // Memory or IOVA pressure beat the build: nothing was mapped
+        // (txBuild already freed the partial skb).  Throttle the
+        // application with an exponentially backed-off retry instead
+        // of spinning; give up once the budget is exhausted.
+        sys_.ctx.stats.add("net.tx_throttled");
+        ++f.txAllocRetries;
+        if (f.txAllocRetries > f.spec.maxRetries) {
+            f.failed = true;
+            return;
+        }
+        const unsigned shift = std::min(f.txAllocRetries - 1, 16u);
+        sys_.ctx.engine.schedule(cpu.time + (f.spec.rtoNs << shift),
+                                 [this, fi] { pumpTx(fi); });
+        return;
+    }
+    f.txAllocRetries = 0;
     if (f.spec.extraCpuNs) {
         sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::App,
                             "app.segment");

@@ -178,6 +178,7 @@ class StreamEngine
         std::uint64_t segments = 0;  //!< counted inside the window
         std::uint64_t bytes = 0;
         unsigned rxRetries = 0;      //!< consecutive faults, this segment
+        unsigned txAllocRetries = 0; //!< consecutive build/map failures
         std::uint64_t drops = 0;     //!< whole-run recovery accounting
         std::uint64_t retransmits = 0;
         bool failed = false;

@@ -34,6 +34,13 @@ struct SystemParams
     core::DmaCacheConfig damnCache{};
     /** damn's fallback scheme for non-DAMN buffers (section 5.3). */
     dma::SchemeKind damnFallback = dma::SchemeKind::Deferred;
+
+    /**
+     * DMA-API IOVA-space budget in bytes; 0 keeps the scheme's full
+     * space.  Pressure experiments shrink it to hit the exhaustion
+     * wall and exercise forced reclaim.
+     */
+    std::uint64_t iovaSpaceBytes = 0;
 };
 
 /** Everything one experiment machine owns. */
@@ -68,6 +75,9 @@ class System
         }
         accessorStorage_ = std::make_unique<SkbAccessor>(
             ctx, pageAlloc, heap, pageFrag, damn.get());
+        if (p.iovaSpaceBytes != 0)
+            dmaApi->setIovaSpaceBytes(p.iovaSpaceBytes);
+        wirePressure();
     }
 
     /** True when the scheme programs the IOMMU at all. */
@@ -95,6 +105,75 @@ class System
     std::unique_ptr<dma::DmaApi> dmaApi;
 
   private:
+    /**
+     * Register the machine's resources and reclaim callbacks with the
+     * pressure controller (sim/pressure.hh): watermarked usage probes
+     * for pages / kmalloc / IOVA space / DAMN caches / shadow pools,
+     * and reclaimers ordered cheapest-first — force-flush batched
+     * invalidations, shrink DAMN magazines, release idle shadow pools.
+     */
+    void
+    wirePressure()
+    {
+        auto &pc = ctx.pressure;
+        const auto totalFrames = [this] {
+            return double(pageAlloc.allocatedFrames() +
+                          pageAlloc.freeFrames());
+        };
+
+        pc.registerResource("pages", [this, totalFrames] {
+            const double total = totalFrames();
+            return total == 0.0
+                       ? 0.0
+                       : double(pageAlloc.allocatedFrames()) / total;
+        });
+        pc.registerResource("kmalloc", [this, totalFrames] {
+            const double total = totalFrames();
+            return total == 0.0 ? 0.0
+                                : double(heap.pinnedPages()) / total;
+        });
+        pc.registerResource("iova",
+                            [this] { return dmaApi->iovaUtilization(); });
+        if (damn) {
+            pc.registerResource("damn", [this, totalFrames] {
+                const double total = totalFrames() * mem::kPageSize;
+                return total == 0.0
+                           ? 0.0
+                           : double(damn->ownedBytes()) / total;
+            });
+        }
+        if (auto *sh =
+                dynamic_cast<dma::ShadowDmaApi *>(dmaApi.get())) {
+            pc.registerResource("shadow", [this, sh, totalFrames] {
+                const double total = totalFrames();
+                return total == 0.0
+                           ? 0.0
+                           : double(sh->poolFrames()) / total;
+            });
+        }
+
+        pc.registerReclaimer(
+            "flush_pending", 10, [this](sim::CpuCursor &cpu) {
+                const std::uint64_t before = dmaApi->outstandingIovas();
+                dmaApi->flushPending(cpu);
+                const std::uint64_t after = dmaApi->outstandingIovas();
+                return before > after ? before - after : 0;
+            });
+        if (damn) {
+            pc.registerReclaimer("damn_shrink", 20,
+                                 [this](sim::CpuCursor &cpu) {
+                                     return damn->shrink(cpu);
+                                 });
+        }
+        if (auto *sh =
+                dynamic_cast<dma::ShadowDmaApi *>(dmaApi.get())) {
+            pc.registerReclaimer("shadow_shrink", 30,
+                                 [sh](sim::CpuCursor &cpu) {
+                                     return sh->shrinkIdle(cpu);
+                                 });
+        }
+    }
+
     std::unique_ptr<SkbAccessor> accessorStorage_;
 };
 

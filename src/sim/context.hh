@@ -15,6 +15,7 @@
 #include "sim/fault_injector.hh"
 #include "sim/machine.hh"
 #include "sim/mem_bw.hh"
+#include "sim/pressure.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/tracer.hh"
@@ -43,6 +44,9 @@ struct Context
     FaultInjector faults;
     /** Virtual-time tracing + cost attribution (sim/tracer.hh). */
     Tracer tracer;
+    /** Resource-pressure watermarks + forced reclaim (sim/pressure.hh).
+     *  Inert until a System registers resources and reclaimers. */
+    PressureController pressure{stats};
 
     /**
      * When true (default), all data paths move real bytes through the

@@ -86,8 +86,35 @@ Engine::run(TimeNs until)
             ++n;
             cb();
         }
+        // Cheap when unarmed: one branch per batch.
+        if (wdArmed_ && dispatched_ - wdLastCheck_ >= wdStride_ &&
+            watchdogCheck())
+            break;
     }
     return n;
+}
+
+bool
+Engine::watchdogCheck()
+{
+    wdLastCheck_ = dispatched_;
+    const std::uint64_t p = wdProgress_ ? wdProgress_() : dispatched_;
+    if (p != wdLastProgress_) {
+        wdLastProgress_ = p;
+        wdDispatchedAtProgress_ = dispatched_;
+        return false;
+    }
+    if (dispatched_ - wdDispatchedAtProgress_ < wdMax_)
+        return false;
+    ++stalls_;
+    lastStall_ = StallInfo{now_, dispatched_, live_,
+                           dispatched_ - wdDispatchedAtProgress_, p};
+    // Re-baseline so a caller that chooses to continue running is not
+    // re-tripped on the very next batch.
+    wdDispatchedAtProgress_ = dispatched_;
+    if (wdOnStall_)
+        wdOnStall_(lastStall_);
+    return true;
 }
 
 } // namespace damn::sim

@@ -37,12 +37,23 @@
 #define DAMN_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace damn::sim {
+
+/** Diagnostic snapshot captured when the stall watchdog trips. */
+struct StallInfo
+{
+    TimeNs now = 0;                      //!< virtual time of the stall
+    std::uint64_t dispatched = 0;        //!< lifetime dispatch count
+    std::uint64_t pending = 0;           //!< events still queued
+    std::uint64_t eventsSinceProgress = 0;
+    std::uint64_t progressValue = 0;     //!< last probe reading
+};
 
 /**
  * Event-driven simulation core.  Owns the virtual clock and an ordered
@@ -124,6 +135,48 @@ class Engine
     /** Total events dispatched over the engine's lifetime. */
     std::uint64_t dispatched() const { return dispatched_; }
 
+    // ---- Stall watchdog ---------------------------------------------
+    //
+    // Livelock/deadlock detector for pressure scenarios: retry loops
+    // that keep the queue busy without the workload advancing would
+    // otherwise spin run() forever.  Progress is measured by a caller
+    // probe (e.g. a completed-segments counter); if it stays flat for
+    // @p max_events_without_progress dispatches, run() records a
+    // StallInfo diagnostic, invokes the optional callback, and returns
+    // instead of hanging.  Dispatch-count based, hence deterministic.
+
+    /**
+     * Arm (or re-arm) the watchdog.  @p progress is polled every few
+     * dispatches; any change of its value counts as forward progress.
+     * A null @p progress treats every dispatch as progress (watchdog
+     * effectively only trips on a zero-progress probe — pass one).
+     */
+    void
+    armWatchdog(std::uint64_t max_events_without_progress,
+                std::function<std::uint64_t()> progress,
+                std::function<void(const StallInfo &)> on_stall = {})
+    {
+        wdArmed_ = true;
+        wdMax_ = max_events_without_progress
+                     ? max_events_without_progress
+                     : 1;
+        wdProgress_ = std::move(progress);
+        wdOnStall_ = std::move(on_stall);
+        wdStride_ = wdMax_ / 2 < 1024 ? (wdMax_ / 2 ? wdMax_ / 2 : 1)
+                                      : 1024;
+        wdLastProgress_ = wdProgress_ ? wdProgress_() : 0;
+        wdDispatchedAtProgress_ = dispatched_;
+        wdLastCheck_ = dispatched_;
+    }
+
+    void disarmWatchdog() { wdArmed_ = false; }
+
+    /** Stalls detected over the engine's lifetime. */
+    std::uint64_t stallsDetected() const { return stalls_; }
+
+    /** Diagnostics of the most recent stall (valid when > 0 stalls). */
+    const StallInfo &lastStall() const { return lastStall_; }
+
   private:
     /** One ready-queue entry; `seq` both orders same-time events FIFO
      *  and detects stale nodes whose slot was cancelled or reused. */
@@ -197,6 +250,9 @@ class Engine
 
     static constexpr unsigned kArity = 4;
 
+    /** Watchdog check inside run(); true = stall, abandon the loop. */
+    bool watchdogCheck();
+
     TimeNs now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t live_ = 0;
@@ -204,6 +260,18 @@ class Engine
     std::vector<HeapNode> heap_;
     std::vector<Slot> slots_;
     std::uint32_t freeHead_ = kNoSlot;
+
+    // Stall-watchdog state.
+    bool wdArmed_ = false;
+    std::uint64_t wdMax_ = 0;
+    std::uint64_t wdStride_ = 1024;
+    std::uint64_t wdLastProgress_ = 0;
+    std::uint64_t wdDispatchedAtProgress_ = 0;
+    std::uint64_t wdLastCheck_ = 0;
+    std::uint64_t stalls_ = 0;
+    StallInfo lastStall_{};
+    std::function<std::uint64_t()> wdProgress_;
+    std::function<void(const StallInfo &)> wdOnStall_;
 };
 
 } // namespace damn::sim

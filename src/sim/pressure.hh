@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Watermark-based resource-pressure controller.
+ *
+ * Allocation-heavy subsystems (page allocator, kmalloc heap, IOVA
+ * space, DAMN caches, shadow pools) register a usage probe; reclaim
+ * providers (deferred-flush queues, magazine shrinkers, pool releasers)
+ * register a callback tagged with a relative cost.  When an allocation
+ * fails — or a producer polls and finds a resource past its critical
+ * watermark — reclaim() runs the callbacks cheapest-first until overall
+ * pressure drops below the low watermark or every provider has run.
+ *
+ * This is the simulated analog of Linux's vmpressure / shrinker /
+ * fq_ring-flush machinery: the point is that exhaustion becomes a
+ * *recoverable, observable* degradation path instead of an assert.
+ * Everything is deterministic — registration order is preserved, cost
+ * ties break by registration order, and all accounting goes through
+ * the run's sim::Stats registry.
+ */
+
+#ifndef DAMN_SIM_PRESSURE_HH
+#define DAMN_SIM_PRESSURE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cpu_cursor.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace damn::sim {
+
+/** Pressure level of one resource (or of the whole machine). */
+enum class PressureLevel : std::uint8_t
+{
+    Ok = 0,       //!< below the low watermark
+    Low = 1,      //!< between low and critical: reclaim opportunistically
+    Critical = 2, //!< past critical: allocations are about to fail
+};
+
+constexpr const char *
+pressureLevelName(PressureLevel l)
+{
+    switch (l) {
+      case PressureLevel::Ok:
+        return "ok";
+      case PressureLevel::Low:
+        return "low";
+      case PressureLevel::Critical:
+        return "critical";
+    }
+    return "?";
+}
+
+/**
+ * Tracks watermark levels across registered resources and drives
+ * cost-ordered reclaim.  One instance per sim::Context.
+ */
+class PressureController
+{
+  public:
+    /** Usage probe: current utilization of the resource in [0, 1]. */
+    using UsageFn = std::function<double()>;
+    /** Reclaimer: release what it can, charging CPU time to @p cpu.
+     *  Returns the units (bytes, pages, IOVA pages — provider-defined)
+     *  it reclaimed; 0 means it had nothing to give back. */
+    using ReclaimFn = std::function<std::uint64_t(CpuCursor &)>;
+
+    explicit PressureController(Stats &stats) : stats_(stats) {}
+
+    PressureController(const PressureController &) = delete;
+    PressureController &operator=(const PressureController &) = delete;
+
+    /**
+     * Register a watched resource.  Watermarks are utilization
+     * fractions; crossing them flips the reported level.
+     */
+    void
+    registerResource(std::string name, UsageFn usage,
+                     double low_watermark = 0.75,
+                     double critical_watermark = 0.90)
+    {
+        resources_.push_back(Resource{std::move(name), std::move(usage),
+                                      low_watermark, critical_watermark,
+                                      PressureLevel::Ok});
+    }
+
+    /**
+     * Register a reclaim provider.  @p cost orders providers: lower
+     * runs first (flush a queue before tearing down caches).  Ties
+     * keep registration order, so reclaim is deterministic.
+     */
+    void
+    registerReclaimer(std::string name, unsigned cost, ReclaimFn fn)
+    {
+        reclaimers_.push_back(
+            Reclaimer{std::move(name), cost, std::move(fn)});
+        std::stable_sort(reclaimers_.begin(), reclaimers_.end(),
+                         [](const Reclaimer &a, const Reclaimer &b) {
+                             return a.cost < b.cost;
+                         });
+    }
+
+    /** Current level of one resource (Ok when unknown). */
+    PressureLevel
+    level(const std::string &resource) const
+    {
+        for (const Resource &r : resources_)
+            if (r.name == resource)
+                return levelOf(r);
+        return PressureLevel::Ok;
+    }
+
+    /** Worst level across every registered resource. */
+    PressureLevel
+    overall() const
+    {
+        PressureLevel worst = PressureLevel::Ok;
+        for (const Resource &r : resources_)
+            worst = std::max(worst, levelOf(r));
+        return worst;
+    }
+
+    /**
+     * Sample every resource, record level-transition counters, and
+     * return the overall level.  Producers on throttle-capable paths
+     * (RX refill, TX submit, NVMe submit) call this to decide whether
+     * to back off before allocating.
+     */
+    PressureLevel
+    poll()
+    {
+        PressureLevel worst = PressureLevel::Ok;
+        for (Resource &r : resources_) {
+            const PressureLevel l = levelOf(r);
+            if (l != r.lastLevel) {
+                stats_.add("pressure." + r.name + ".to_" +
+                           pressureLevelName(l));
+                r.lastLevel = l;
+            }
+            worst = std::max(worst, l);
+        }
+        return worst;
+    }
+
+    /**
+     * Forced reclaim: run providers cheapest-first until overall
+     * pressure drops below Low or every provider has run.  Called from
+     * allocation-failure paths (the feedback loop) and from throttle
+     * sites that found poll() == Critical.
+     * @return total units reclaimed across the providers that ran.
+     */
+    std::uint64_t
+    reclaim(CpuCursor &cpu)
+    {
+        if (reclaiming_)
+            return 0; // a reclaimer's own allocation failed: don't recurse
+        reclaiming_ = true;
+        ++reclaimEvents_;
+        stats_.add("pressure.reclaims");
+        const TimeNs t0 = cpu.time;
+        std::uint64_t total = 0;
+        for (Reclaimer &rec : reclaimers_) {
+            const std::uint64_t got = rec.fn(cpu);
+            if (got > 0) {
+                total += got;
+                stats_.add("pressure.reclaimed." + rec.name, got);
+            }
+            if (poll() < PressureLevel::Low)
+                break;
+        }
+        reclaimedUnits_ += total;
+        lastReclaimNs_ = cpu.time - t0;
+        stats_.add("pressure.reclaim_ns", std::uint64_t(lastReclaimNs_));
+        if (total == 0)
+            stats_.add("pressure.reclaim_futile");
+        reclaiming_ = false;
+        return total;
+    }
+
+    std::uint64_t reclaimEvents() const { return reclaimEvents_; }
+    std::uint64_t reclaimedUnits() const { return reclaimedUnits_; }
+    /** Virtual-time cost of the most recent reclaim() pass. */
+    TimeNs lastReclaimNs() const { return lastReclaimNs_; }
+    std::size_t numResources() const { return resources_.size(); }
+    std::size_t numReclaimers() const { return reclaimers_.size(); }
+
+  private:
+    struct Resource
+    {
+        std::string name;
+        UsageFn usage;
+        double low;
+        double critical;
+        PressureLevel lastLevel;
+    };
+
+    struct Reclaimer
+    {
+        std::string name;
+        unsigned cost;
+        ReclaimFn fn;
+    };
+
+    static PressureLevel
+    levelOf(const Resource &r)
+    {
+        const double u = r.usage();
+        if (u >= r.critical)
+            return PressureLevel::Critical;
+        if (u >= r.low)
+            return PressureLevel::Low;
+        return PressureLevel::Ok;
+    }
+
+    Stats &stats_;
+    std::vector<Resource> resources_;
+    std::vector<Reclaimer> reclaimers_;
+    bool reclaiming_ = false;
+    std::uint64_t reclaimEvents_ = 0;
+    std::uint64_t reclaimedUnits_ = 0;
+    TimeNs lastReclaimNs_ = 0;
+};
+
+} // namespace damn::sim
+
+#endif // DAMN_SIM_PRESSURE_HH

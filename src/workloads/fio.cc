@@ -19,13 +19,24 @@ class FioJob
            unsigned core)
         : sys_(sys), dev_(dev), opts_(opts), core_(core)
     {
-        // fio preallocates its IO buffers once and reuses them.
+        // fio preallocates its IO buffers once and reuses them.  Under
+        // memory pressure the job runs at whatever queue depth the
+        // allocator can back, rather than asserting.
         unsigned order = 0;
         while ((mem::kPageSize << order) < opts.blockBytes)
             ++order;
         for (unsigned i = 0; i < opts.queueDepth; ++i) {
-            const mem::Pfn pfn = sys_.pageAlloc.allocPages(order, 0);
-            assert(pfn != mem::kInvalidPfn);
+            mem::Pfn pfn = sys_.pageAlloc.allocPages(order, 0);
+            if (pfn == mem::kInvalidPfn) {
+                sim::CpuCursor cpu(sys_.ctx.machine.core(core_),
+                                   sys_.ctx.now());
+                sys_.ctx.pressure.reclaim(cpu);
+                pfn = sys_.pageAlloc.allocPages(order, 0);
+            }
+            if (pfn == mem::kInvalidPfn) {
+                sys_.ctx.stats.add("nvme.buffer_alloc_fails");
+                break;
+            }
             buffers_.push_back(mem::pfnToPa(pfn));
         }
     }
@@ -33,19 +44,40 @@ class FioJob
     void
     start()
     {
-        for (unsigned i = 0; i < opts_.queueDepth; ++i)
+        for (unsigned i = 0; i < unsigned(buffers_.size()); ++i)
             submit(i);
     }
 
     std::uint64_t completed = 0; //!< IOs finished inside the window
+    std::uint64_t failedIos = 0; //!< retry budget exhausted / unmappable
     sim::TimeNs windowStart = 0;
 
   private:
+    /** Backoff budget for pressure-throttled / unmappable submissions. */
+    static constexpr unsigned kMaxBackoffs = 8;
+
     void
-    submit(unsigned slot)
+    submit(unsigned slot, unsigned backoffs = 0)
     {
         sim::CpuCursor cpu(sys_.ctx.machine.core(core_),
                            sys_.ctx.now());
+        // Admission throttle: when the system is critically short on
+        // memory or IOVA space, hold new IOs back (bounded) and give
+        // the reclaimers a chance instead of piling onto the queue.
+        if (backoffs < kMaxBackoffs &&
+            sys_.ctx.pressure.poll() == sim::PressureLevel::Critical) {
+            sys_.ctx.pressure.reclaim(cpu);
+            if (sys_.ctx.pressure.poll() ==
+                sim::PressureLevel::Critical) {
+                sys_.ctx.stats.add("nvme.throttled");
+                sys_.ctx.engine.schedule(
+                    cpu.time + sys_.ctx.cost.nvmeTimeoutNs,
+                    [this, slot, backoffs] {
+                        submit(slot, backoffs + 1);
+                    });
+                return;
+            }
+        }
         sim::TraceSpan span(sys_.ctx.tracer, cpu, sim::TraceCat::Nvme,
                             "nvme.submit_io");
         span.bytes(opts_.blockBytes);
@@ -55,10 +87,44 @@ class FioJob
         const iommu::Iova dma = sys_.dmaApi->map(
             cpu, dev_, buffers_[slot], opts_.blockBytes,
             dma::Dir::FromDevice);
+        if (dma == dma::kMapFailed) {
+            // IOVA space exhausted past forced reclaim: back off and
+            // retry; past the budget the IO fails and the slot parks
+            // (graceful queue-depth degradation).
+            if (backoffs < kMaxBackoffs) {
+                sys_.ctx.stats.add("nvme.map_fail_retries");
+                sys_.ctx.engine.schedule(
+                    cpu.time + sys_.ctx.cost.nvmeTimeoutNs,
+                    [this, slot, backoffs] {
+                        submit(slot, backoffs + 1);
+                    });
+            } else {
+                ++failedIos;
+                sys_.ctx.stats.add("nvme.failed_ios");
+            }
+            return;
+        }
 
         const nvme::NvmeCmdResult out =
             dev_.submitRead(cpu.time, dma, opts_.blockBytes);
-        assert(out.ok && "NVMe retry budget exhausted");
+        if (!out.ok) {
+            // Retry budget exhausted (or device unplugged): count the
+            // failed IO and error-complete it so the mapping is not
+            // leaked; a healthy device gets the slot back.
+            ++failedIos;
+            sys_.ctx.stats.add("nvme.failed_ios");
+            const bool aborted = out.aborted;
+            sys_.ctx.engine.schedule(
+                out.completes, [this, slot, dma, aborted] {
+                    sim::CpuCursor c2(sys_.ctx.machine.core(core_),
+                                      sys_.ctx.now());
+                    sys_.dmaApi->unmap(c2, dev_, dma, opts_.blockBytes,
+                                       dma::Dir::FromDevice);
+                    if (!aborted)
+                        submit(slot);
+                });
+            return;
+        }
 
         sys_.ctx.engine.schedule(out.completes, [this, slot, dma] {
             complete(slot, dma);
@@ -131,8 +197,10 @@ runFio(const FioOpts &opts)
 
     FioResult r;
     std::uint64_t ios = 0;
-    for (const auto &job : jobs)
+    for (const auto &job : jobs) {
         ios += job->completed;
+        r.failedIos += job->failedIos;
+    }
     r.common.opsPerSec = opts.runWindow.perSecond(ios);
     r.common.cpuPct = opts.runWindow.cpuPct(sys.ctx);
     r.common.memGBps =

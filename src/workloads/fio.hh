@@ -35,6 +35,8 @@ struct FioResult
 {
     CommonResult common;
     double throughputGBps = 0.0;
+    /** IOs that failed (retry budget / resources exhausted). */
+    std::uint64_t failedIos = 0;
 
     double kiops() const { return common.opsPerSec / 1e3; }
 };

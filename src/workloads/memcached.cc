@@ -67,6 +67,15 @@ class Instance
             // Server transmits a value chunk.
             auto skb = std::make_shared<net::SkBuff>(
                 stack_.txBuild(cpu, opts_.segBytes, 1.3));
+            if (skb->allocFailed) {
+                // Memory/IOVA pressure: retry this chunk later.
+                ++segsLeft_;
+                sys_.ctx.stats.add("net.tx_throttled");
+                sys_.ctx.engine.schedule(
+                    cpu.time + 100 * sim::kNsPerUs,
+                    [this] { moveSegment(); });
+                return;
+            }
             const dma::DmaOutcome out = nic_.transferSegmentSg(
                 cpu.time, port_, net::Traffic::Tx,
                 stack_.driver.sgOf(*skb));
@@ -81,6 +90,15 @@ class Instance
             // Server receives a value chunk into a posted buffer.
             net::RxBuffer buf = stack_.driver.allocRxBuffer(
                 cpu, opts_.segBytes, core::AllocCtx::Interrupt);
+            if (!buf.valid()) {
+                // Memory/IOVA pressure: retry the post later.
+                ++segsLeft_;
+                sys_.ctx.stats.add("net.rx_refill_fails");
+                sys_.ctx.engine.schedule(
+                    cpu.time + 100 * sim::kNsPerUs,
+                    [this] { moveSegment(); });
+                return;
+            }
             const dma::DmaOutcome out = nic_.transferSegment(
                 cpu.time, port_, net::Traffic::Rx, buf.seg.dmaAddr,
                 opts_.segBytes);

@@ -17,10 +17,10 @@ using exp::Json;
 
 namespace {
 
-TEST(Registry, AllSeventeenExperimentsRegistered)
+TEST(Registry, AllEighteenExperimentsRegistered)
 {
     const auto all = exp::allExperiments();
-    ASSERT_EQ(all.size(), 17u);
+    ASSERT_EQ(all.size(), 18u);
 
     std::set<std::string> names;
     for (const exp::Experiment *e : all) {

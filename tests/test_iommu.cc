@@ -277,6 +277,74 @@ TEST(IovaAllocator, PageAligned)
         EXPECT_EQ(a.alloc(3) % mem::kPageSize, 0u);
 }
 
+TEST(IovaAllocator, ExhaustionReturnsInvalid)
+{
+    IovaAllocator a;
+    a.setSpaceBytes(16 * mem::kPageSize);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NE(a.alloc(4), kInvalidIova);
+    EXPECT_EQ(a.alloc(4), kInvalidIova);
+    EXPECT_EQ(a.failures(), 1u);
+    EXPECT_DOUBLE_EQ(a.utilization(), 1.0);
+}
+
+TEST(IovaAllocator, ExhaustionRecoversViaRecycling)
+{
+    IovaAllocator a;
+    a.setSpaceBytes(16 * mem::kPageSize);
+    Iova ranges[4];
+    for (Iova &r : ranges)
+        r = a.alloc(4);
+    EXPECT_EQ(a.alloc(4), kInvalidIova);
+    a.free(ranges[2], 4);
+    EXPECT_EQ(a.alloc(4), ranges[2]);
+    // The freelist hit does not count as a failure.
+    EXPECT_EQ(a.failures(), 1u);
+}
+
+TEST(IovaAllocator, SplitsLargerRecycledRangeWhenExhausted)
+{
+    IovaAllocator a;
+    a.setSpaceBytes(16 * mem::kPageSize);
+    const Iova big = a.alloc(16);
+    a.free(big, 16);
+    // Fresh space is gone; a 4-page request must carve the recycled
+    // 16-page range instead of failing on a size-bucket miss.
+    EXPECT_EQ(a.alloc(4), big);
+    EXPECT_EQ(a.splits(), 1u);
+    // The 12-page remainder keeps satisfying smaller requests.
+    EXPECT_EQ(a.alloc(4), big + 4 * mem::kPageSize);
+    EXPECT_EQ(a.alloc(4), big + 8 * mem::kPageSize);
+    EXPECT_EQ(a.alloc(4), big + 12 * mem::kPageSize);
+    EXPECT_EQ(a.alloc(4), kInvalidIova);
+}
+
+TEST(IovaAllocator, OutstandingChurnDoesNotLeak)
+{
+    IovaAllocator a;
+    a.setSpaceBytes(64 * mem::kPageSize);
+    for (int round = 0; round < 1000; ++round) {
+        const Iova x = a.alloc(4);
+        const Iova y = a.alloc(2);
+        ASSERT_NE(x, kInvalidIova);
+        ASSERT_NE(y, kInvalidIova);
+        a.free(x, 4);
+        a.free(y, 2);
+    }
+    EXPECT_EQ(a.outstanding(), 0u);
+    EXPECT_EQ(a.failures(), 0u);
+    EXPECT_GT(a.recycled(), 0u);
+}
+
+TEST(IovaAllocator, ShrinkingSpaceOnlyAffectsFreshAllocations)
+{
+    IovaAllocator a;
+    const Iova x = a.alloc(8);
+    a.setSpaceBytes(4 * mem::kPageSize); // below the high-water mark
+    a.free(x, 8);
+    EXPECT_EQ(a.alloc(8), x); // recycling still works
+}
+
 // ---------------------------------------------------------------------
 // Iommu facade
 // ---------------------------------------------------------------------
