@@ -203,8 +203,7 @@ DamnAllocator::shrink(sim::CpuCursor &cpu)
         // mapping — the shrinker returns chunks from all device caches
         // at once, so a single global command beats per-domain ones;
         // the freed pages may be handed out by the OS only after this.
-        cpu.time = iommu_.invalQueue().batchedFlushAll(
-            *cpu.core, cpu.time, iommu_.iotlb());
+        cpu.time = iommu_.backend().batchedFlushAll(*cpu.core, cpu.time);
     }
     return chunks * config_.cache.chunkBytes();
 }
@@ -219,8 +218,7 @@ DamnAllocator::drainDomain(sim::CpuCursor &cpu, iommu::DomainId d)
     if (chunks > 0) {
         // Teardown flush is scoped: only the detaching domain's entries
         // need to die, and other devices' warm entries must survive.
-        cpu.time = iommu_.invalQueue().batchedFlush(
-            *cpu.core, cpu.time, iommu_.iotlb(), {d});
+        cpu.time = iommu_.backend().batchedFlush(*cpu.core, cpu.time, {d});
     }
     return chunks * config_.cache.chunkBytes();
 }

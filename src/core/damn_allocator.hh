@@ -46,6 +46,9 @@ class DamnAllocator
     DamnAllocator(const DamnAllocator &) = delete;
     DamnAllocator &operator=(const DamnAllocator &) = delete;
 
+    /** The backing IOMMU's IOVA address layout (tag bit, fields). */
+    iommu::AddressLayout layout() const { return iommu_.layout(); }
+
     // ---- Paper Table 2 -------------------------------------------
 
     /**

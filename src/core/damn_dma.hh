@@ -56,7 +56,7 @@ class DamnDmaApi : public dma::DmaApi
                             "dma.unmap");
         span.bytes(len);
         cpu.charge(ctx_.cost.damnUnmapCheckNs);
-        if (isDamnIova(dma_addr)) {
+        if (isDamnIova(dma_addr, alloc_.layout())) {
             // Nothing to tear down; the buffer is freed later by the
             // networking subsystem through damn_free.
             ctx_.stats.add("damn.unmap_hits");
@@ -72,7 +72,7 @@ class DamnDmaApi : public dma::DmaApi
         std::vector<UnmapReq> legacy;
         for (const UnmapReq &r : reqs) {
             cpu.charge(ctx_.cost.damnUnmapCheckNs);
-            if (isDamnIova(r.dmaAddr))
+            if (isDamnIova(r.dmaAddr, alloc_.layout()))
                 ctx_.stats.add("damn.unmap_hits");
             else
                 legacy.push_back(r);

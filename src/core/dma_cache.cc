@@ -56,11 +56,13 @@ iommu::Iova
 DmaCache::allocChunkIova(sim::CoreId creating_core)
 {
     const std::uint64_t chunk_bytes = config_.chunkBytes();
+    const iommu::AddressLayout lay = iommu_.layout();
     if (config_.denseIova || config_.hugeIovaPages) {
         // Analysis-only variants (Table 3): IOVAs are packed densely in
         // a private 16 GiB region; no metadata is encoded.
         const iommu::Iova base =
-            iommu::kDamnIovaBit | (std::uint64_t(cacheId_) << 34);
+            lay.tagMask() |
+            (std::uint64_t(cacheId_) << lay.denseRegionShift());
         const iommu::Iova iova = base + denseNext_;
         denseNext_ += chunk_bytes;
         return iova;
@@ -72,17 +74,18 @@ DmaCache::allocChunkIova(sim::CoreId creating_core)
     } else {
         // Only fresh slots can run off the end of the encoded offset
         // field; recycled ones fit by construction.  Fail soft — every
-        // encoded IOVA has kDamnIovaBit set, so 0 is an unambiguous
+        // encoded IOVA has the tag bit set, so 0 is an unambiguous
         // invalid sentinel for the caller's OOM path.
         slot = nextSlot_;
-        if (slot * chunk_bytes > kOffsetMask) {
+        if (slot * chunk_bytes > lay.offsetMask()) {
             ctx_.stats.add("damn.iova_region_exhausted");
             return 0;
         }
         ++nextSlot_;
     }
     const std::uint64_t offset = slot * chunk_bytes;
-    return encodeIova(creating_core, rights_, devIdx_, numa_, offset);
+    return encodeIova(creating_core, rights_, devIdx_, numa_, offset,
+                      lay);
 }
 
 void
@@ -240,7 +243,7 @@ DmaCache::releaseChunk(sim::CpuCursor &cpu, const Chunk &c)
             (void)ok;
         }
         if (!config_.denseIova) {
-            const IovaFields f = decodeIova(c.iova);
+            const IovaFields f = decodeIova(c.iova, iommu_.layout());
             freeSlots_.push_back(f.offset / config_.chunkBytes());
         }
     }

@@ -2,15 +2,16 @@
  * @file
  * DAMN's metadata-carrying IOVA encoding (paper figure 3).
  *
- * The 48-bit IOVA space is split on the MSB: bit 47 == 1 marks a
+ * The IOVA space is split on the MSB of the backend's implemented
+ * input-address width (iommu::AddressLayout): tag bit == 1 marks a
  * DAMN-allocated buffer, letting dma_unmap decide in O(1) whether to do
  * nothing (DAMN) or fall back to the legacy path (section 5.3).  The
  * upper bits of a DAMN IOVA encode the allocating core, the access
  * rights, and the device, so the deallocation path can locate the
  * owning DMA cache (section 5.5).
  *
- * Field layout used here (the paper's figure is schematic about exact
- * widths; we document our concrete choice):
+ * Field layout for the default 48-bit backends (the paper's figure is
+ * schematic about exact widths; we document our concrete choice):
  *
  *   47    46..40   39..37    36..30   29      28..0
  *   [1]   cpu idx  rights    dev idx  numa    offset (512 MiB/region)
@@ -20,7 +21,9 @@
  * bit is our addition (the evaluation machine has 2 NUMA domains and
  * DAMN keeps one DMA cache per domain, section 5.4); it subdivides the
  * offset space so per-domain caches of the same (device, rights) pair
- * never collide.
+ * never collide.  A backend with a narrower input size shifts the
+ * whole encoding down (fields keep their widths; only the offset space
+ * shrinks) — encode/decode take the backend's AddressLayout.
  */
 
 #ifndef DAMN_CORE_IOVA_ENCODING_HH
@@ -29,6 +32,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "dma/dma_types.hh"
+#include "iommu/backend.hh"
 #include "iommu/iova_alloc.hh"
 #include "sim/types.hh"
 
@@ -52,20 +57,29 @@ struct IovaFields
     std::uint64_t offset = 0;
 };
 
+// Legacy aliases: the concrete values of the default 48-bit layout.
 constexpr unsigned kCpuShift = 40;
 constexpr unsigned kRightsShift = 37;
 constexpr unsigned kDevShift = 30;
 constexpr unsigned kNumaShift = 29;
 constexpr std::uint64_t kOffsetMask = (1ull << kNumaShift) - 1;
 
+static_assert(iommu::AddressLayout{}.cpuShift() == kCpuShift);
+static_assert(iommu::AddressLayout{}.rightsShift() == kRightsShift);
+static_assert(iommu::AddressLayout{}.devShift() == kDevShift);
+static_assert(iommu::AddressLayout{}.numaShift() == kNumaShift);
+static_assert(iommu::AddressLayout{}.offsetMask() == kOffsetMask);
+static_assert(iommu::AddressLayout{}.tagMask() == iommu::kDamnIovaBit);
+
 constexpr unsigned kMaxCpus = 128;
 constexpr unsigned kMaxDevices = 128;
 
 /** True iff @p iova belongs to DAMN's half of the address space. */
 constexpr bool
-isDamnIova(iommu::Iova iova)
+isDamnIova(iommu::Iova iova,
+           const iommu::AddressLayout &lay = iommu::AddressLayout{})
 {
-    return (iova & iommu::kDamnIovaBit) != 0;
+    return (iova & lay.tagMask()) != 0;
 }
 
 /** One-hot rights field value. */
@@ -83,49 +97,52 @@ rightsField(Rights r)
     return 0;
 }
 
-/** Compose a DAMN IOVA. */
+/** Compose a DAMN IOVA in @p lay's address space. */
 inline iommu::Iova
 encodeIova(sim::CoreId cpu, Rights rights, std::uint32_t dev_idx,
-           sim::NumaId numa, std::uint64_t offset)
+           sim::NumaId numa, std::uint64_t offset,
+           const iommu::AddressLayout &lay = iommu::AddressLayout{})
 {
     assert(cpu < kMaxCpus);
     assert(dev_idx < kMaxDevices);
     assert(numa < 2);
-    assert(offset <= kOffsetMask);
-    return iommu::kDamnIovaBit |
-        (std::uint64_t(cpu) << kCpuShift) |
-        (rightsField(rights) << kRightsShift) |
-        (std::uint64_t(dev_idx) << kDevShift) |
-        (std::uint64_t(numa) << kNumaShift) |
+    assert(offset <= lay.offsetMask());
+    return lay.tagMask() |
+        (std::uint64_t(cpu) << lay.cpuShift()) |
+        (rightsField(rights) << lay.rightsShift()) |
+        (std::uint64_t(dev_idx) << lay.devShift()) |
+        (std::uint64_t(numa) << lay.numaShift()) |
         offset;
 }
 
-/** Decompose a DAMN IOVA; @p iova must have bit 47 set. */
+/** Decompose a DAMN IOVA; @p iova must have the tag bit set. */
 inline IovaFields
-decodeIova(iommu::Iova iova)
+decodeIova(iommu::Iova iova,
+           const iommu::AddressLayout &lay = iommu::AddressLayout{})
 {
-    assert(isDamnIova(iova));
+    assert(isDamnIova(iova, lay));
     IovaFields f;
-    f.cpu = sim::CoreId((iova >> kCpuShift) & 0x7f);
-    const std::uint64_t r = (iova >> kRightsShift) & 0x7;
+    f.cpu = sim::CoreId((iova >> lay.cpuShift()) & 0x7f);
+    const std::uint64_t r = (iova >> lay.rightsShift()) & 0x7;
     f.rights = r == 1 ? Rights::Read : r == 2 ? Rights::Write : Rights::RW;
-    f.devIdx = std::uint32_t((iova >> kDevShift) & 0x7f);
-    f.numa = sim::NumaId((iova >> kNumaShift) & 0x1);
-    f.offset = iova & kOffsetMask;
+    f.devIdx = std::uint32_t((iova >> lay.devShift()) & 0x7f);
+    f.numa = sim::NumaId((iova >> lay.numaShift()) & 0x1);
+    f.offset = iova & lay.offsetMask();
     return f;
 }
 
-/** IOMMU permission bits for DAMN rights. */
+/** IOMMU permission bits for DAMN rights (via the shared DMA-API
+ *  direction table, so the two conversions can never diverge). */
 constexpr std::uint32_t
 permOf(Rights r)
 {
     switch (r) {
       case Rights::Read:
-        return iommu::PermRead;
+        return dma::permFor(dma::Dir::ToDevice);
       case Rights::Write:
-        return iommu::PermWrite;
+        return dma::permFor(dma::Dir::FromDevice);
       case Rights::RW:
-        return iommu::PermRW;
+        return dma::permFor(dma::Dir::Bidirectional);
     }
     return 0;
 }

@@ -23,40 +23,11 @@
 #include <vector>
 
 #include "dma/device.hh"
+#include "dma/dma_types.hh"
 #include "iommu/io_pgtable.hh"
 #include "sim/cpu_cursor.hh"
 
 namespace damn::dma {
-
-/**
- * Returned by DmaApi::map when the scheme cannot produce a mapping
- * (IOVA space or shadow-pool memory exhausted even after forced
- * reclaim).  Drivers treat it like a failed dma_map_single(): back off
- * and retry, never program it into a device.
- */
-constexpr iommu::Iova kMapFailed = ~iommu::Iova{0};
-
-/** DMA direction, as in the Linux DMA API. */
-enum class Dir
-{
-    ToDevice,       //!< device reads (transmit buffers)
-    FromDevice,     //!< device writes (receive buffers)
-    Bidirectional,
-};
-
-/** IOMMU permission required for a direction. */
-constexpr std::uint32_t
-permFor(Dir d)
-{
-    switch (d) {
-      case Dir::ToDevice:
-        return iommu::PermRead;
-      case Dir::FromDevice:
-        return iommu::PermWrite;
-      default:
-        return iommu::PermRW;
-    }
-}
 
 /**
  * Abstract DMA-mapping API with a pluggable protection scheme.

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared DMA-API vocabulary: the failed-map sentinel, the transfer
+ * direction, and the direction-to-IOMMU-permission conversion.
+ *
+ * Hoisted out of dma_api.hh so every consumer — the protection
+ * schemes, the IOMMU backends, and DAMN's rights mapping in
+ * core/iova_encoding.hh — shares a single definition instead of
+ * duplicating the permission table.
+ */
+
+#ifndef DAMN_DMA_DMA_TYPES_HH
+#define DAMN_DMA_DMA_TYPES_HH
+
+#include <cstdint>
+
+#include "iommu/io_pgtable.hh"
+
+namespace damn::dma {
+
+/**
+ * Returned by DmaApi::map when the scheme cannot produce a mapping
+ * (IOVA space or shadow-pool memory exhausted even after forced
+ * reclaim).  Drivers treat it like a failed dma_map_single(): back off
+ * and retry, never program it into a device.
+ */
+constexpr iommu::Iova kMapFailed = ~iommu::Iova{0};
+
+/** DMA direction, as in the Linux DMA API. */
+enum class Dir
+{
+    ToDevice,       //!< device reads (transmit buffers)
+    FromDevice,     //!< device writes (receive buffers)
+    Bidirectional,
+};
+
+/** IOMMU permission required for a direction. */
+constexpr std::uint32_t
+permFor(Dir d)
+{
+    switch (d) {
+      case Dir::ToDevice:
+        return iommu::PermRead;
+      case Dir::FromDevice:
+        return iommu::PermWrite;
+      default:
+        return iommu::PermRW;
+    }
+}
+
+} // namespace damn::dma
+
+#endif // DAMN_DMA_DMA_TYPES_HH

@@ -143,13 +143,15 @@ StrictDmaApi::unmap(sim::CpuCursor &cpu, Device &dev,
     clearPtes(cpu, dev, dma_addr, len, &iova_base, &pages);
 
     {
-        // Synchronous IOTLB invalidation under the global queue lock;
-        // the full hardware round trip is spent holding it.
+        // Synchronous IOTLB invalidation through the backend's
+        // machinery (VT-d spends the full hardware round trip holding
+        // the global queue lock; SMMUv3 produces a TLBI + SYNC and
+        // waits outside it).
         sim::TraceSpan inval(ctx_.tracer, cpu, sim::TraceCat::IommuInval,
                              "iommu.sync_inval");
         inval.aux(pages);
-        const sim::TimeNs done = iommu_.invalQueue().syncInvalidate(
-            *cpu.core, cpu.time, iommu_.iotlb(), dev.domain(), iova_base,
+        const sim::TimeNs done = iommu_.backend().syncInvalidate(
+            *cpu.core, cpu.time, dev.domain(), iova_base,
             std::uint64_t(pages) * mem::kPageSize);
         cpu.waitUntil(done);
         // Pipelined invalidation engines: spin for the completion
@@ -172,29 +174,26 @@ StrictDmaApi::unmapBatch(sim::CpuCursor &cpu, Device &dev,
     span.aux(reqs.size());
     // Clear all PTEs, then pay for a single invalidate + wait round
     // trip covering every range (how dma_unmap_sg behaves).
-    std::vector<std::pair<iommu::Iova, unsigned>> ranges;
+    std::vector<iommu::IommuBackend::InvalRange> ranges;
     ranges.reserve(reqs.size());
     for (const UnmapReq &r : reqs) {
         iommu::Iova base;
         unsigned pages;
         clearPtes(cpu, dev, r.dmaAddr, r.len, &base, &pages);
-        ranges.emplace_back(base, pages);
+        ranges.push_back({dev.domain(), base,
+                          std::uint64_t(pages) * mem::kPageSize});
         span.bytes(r.len);
     }
     {
         sim::TraceSpan inval(ctx_.tracer, cpu, sim::TraceCat::IommuInval,
                              "iommu.sync_inval");
         inval.aux(ranges.size());
-        cpu.time = iommu_.invalQueue().lock().acquireAndHold(
-            *cpu.core, cpu.time, ctx_.cost.strictInvalidateNs,
-            ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
+        cpu.time = iommu_.backend().syncInvalidateRanges(
+            *cpu.core, cpu.time, ranges);
         cpu.charge(ctx_.cost.strictPostWaitNs);
     }
-    for (const auto &[base, pages] : ranges) {
-        iommu_.iotlb().invalidateRange(
-            dev.domain(), base, std::uint64_t(pages) * mem::kPageSize);
-        iovaAlloc_.free(base, pages);
-    }
+    for (const auto &r : ranges)
+        iovaAlloc_.free(r.iova, unsigned(r.len >> mem::kPageShift));
     ctx_.stats.add("dma.strict_invalidations");
 }
 
@@ -243,8 +242,8 @@ DeferredDmaApi::flushPending(sim::CpuCursor &cpu)
             domains.end())
             domains.push_back(p.domain);
     }
-    const sim::TimeNs done = iommu_.invalQueue().batchedFlush(
-        *cpu.core, cpu.time, iommu_.iotlb(), domains);
+    const sim::TimeNs done = iommu_.backend().batchedFlush(
+        *cpu.core, cpu.time, domains);
     cpu.waitUntil(done);
     for (const PendingUnmap &p : flushQueue_)
         iovaAlloc_.free(p.iova, p.pages);
@@ -288,7 +287,9 @@ bucketSize(unsigned b)
 ShadowDmaApi::ShadowDmaApi(sim::Context &ctx, iommu::Iommu &mmu,
                            mem::PageAllocator &pa)
     : ctx_(ctx), iommu_(mmu), pageAlloc_(pa)
-{}
+{
+    iovaAlloc_.setAddressLimit(mmu.layout().dmaApiLimit());
+}
 
 unsigned
 ShadowDmaApi::bucketFor(std::uint32_t len)

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dma/dma_api.hh"
+#include "iommu/iommu.hh"
 #include "iommu/iova_alloc.hh"
 #include "mem/page_alloc.hh"
 
@@ -69,7 +70,9 @@ class MappedDmaApi : public DmaApi
   public:
     MappedDmaApi(sim::Context &ctx, iommu::Iommu &mmu)
         : ctx_(ctx), iommu_(mmu)
-    {}
+    {
+        iovaAlloc_.setAddressLimit(mmu.layout().dmaApiLimit());
+    }
 
     iommu::Iova map(sim::CpuCursor &cpu, Device &dev, mem::Pa pa,
                     std::uint32_t len, Dir dir) override;

@@ -28,6 +28,8 @@ const char kUsage[] =
     "                     (shell-style * and ?, e.g. --only='fig4*')\n"
     "  --schemes=a,b,...  restrict the scheme axis (names as printed:\n"
     "                     iommu-off, deferred, strict, shadow, damn)\n"
+    "  --backend=a,b,...  set the IOMMU backend axis (vtd, smmuv3);\n"
+    "                     default: each experiment's native axis\n"
     "  --jobs=N           run (experiment, rep) units on N worker\n"
     "                     threads (default: one per hardware thread;\n"
     "                     results are byte-identical for any N)\n"
@@ -121,6 +123,24 @@ parseArgs(int argc, const char *const *argv, DriverOptions *opts,
                 start = comma + 1;
             }
             opts->schemes = std::move(selected);
+        } else if (key == "backend") {
+            std::vector<iommu::BackendKind> selected;
+            std::size_t start = 0;
+            while (start <= value.size()) {
+                std::size_t comma = value.find(',', start);
+                if (comma == std::string::npos)
+                    comma = value.size();
+                const std::string name =
+                    value.substr(start, comma - start);
+                iommu::BackendKind k;
+                if (!iommu::backendFromName(name, &k)) {
+                    *err = "unknown backend: '" + name + "'";
+                    return false;
+                }
+                selected.push_back(k);
+                start = comma + 1;
+            }
+            opts->backends = std::move(selected);
         } else if (key == "jobs") {
             if (!parseU64(value, &n) || n == 0) {
                 *err = "--jobs needs a positive integer";
@@ -206,6 +226,7 @@ runUnit(const DriverOptions &opts, const Experiment &e, unsigned rep)
         opts.seed + rep,
         out,
         !opts.tracePath.empty(),
+        opts.backends,
     };
     e.run(ctx);
     std::vector<Run> runs = out.take();
@@ -342,6 +363,19 @@ reportJson(const Report &report)
     for (const dma::SchemeKind k : report.opts.schemes)
         schemes.push(dma::schemeKindName(k));
     doc.set("schemes", std::move(schemes));
+    // Backward-compatible v2 extension: the backend axis appears in
+    // the header (and as a per-run "backend" param) only when it
+    // differs from the pre-backend baseline {vtd}, so default and
+    // --backend=vtd invocations serialize byte-identically to older
+    // versions.
+    if (!(report.opts.backends.empty() ||
+          (report.opts.backends.size() == 1 &&
+           report.opts.backends[0] == iommu::BackendKind::Vtd))) {
+        Json backends = Json::array();
+        for (const iommu::BackendKind k : report.opts.backends)
+            backends.push(iommu::backendKindName(k));
+        doc.set("backends", std::move(backends));
+    }
     doc.set("warmup_ms_override",
             std::uint64_t(report.opts.warmupNs / sim::kNsPerMs));
     doc.set("measure_ms_override",

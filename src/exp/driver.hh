@@ -30,6 +30,9 @@ struct DriverOptions
     bool help = false;
     std::string only;  //!< glob over experiment names; empty = all
     std::vector<dma::SchemeKind> schemes = defaultSchemes();
+    /** The --backend selection; empty keeps each experiment's default
+     *  backend axis (vtd for everything but backend_matrix). */
+    std::vector<iommu::BackendKind> backends;
     /** Worker threads for (experiment, rep) units; 0 = one per
      *  hardware thread.  Output is byte-identical for every value. */
     unsigned jobs = 0;

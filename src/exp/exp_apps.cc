@@ -20,13 +20,18 @@ DAMN_EXPERIMENT(fig7_memcached)
     e.paper = "Figure 7";
     e.axes = {"scheme"};
     e.run = [](RunCtx &ctx) {
-        for (const dma::SchemeKind k : ctx.schemes) {
-            work::MemcachedOpts o;
-            o.scheme = k;
-            o.runWindow = ctx.window;
-            const work::MemcachedResult r = work::runMemcached(o);
-            ctx.out.beginRun(dma::schemeKindName(k));
-            ctx.out.common(r.common);
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd})) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::MemcachedOpts o;
+                o.scheme = k;
+                o.backend = bk;
+                o.runWindow = ctx.window;
+                const work::MemcachedResult r = work::runMemcached(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
+                ctx.out.common(r.common);
+            }
         }
     };
     return e;
@@ -45,16 +50,20 @@ DAMN_EXPERIMENT(fig11_nvme)
         const auto schemes = ctx.schemesAmong(
             {dma::SchemeKind::IommuOff, dma::SchemeKind::Deferred,
              dma::SchemeKind::Strict, dma::SchemeKind::Shadow});
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd}))
         for (const std::uint32_t bs :
              {512u, 1024u, 2048u, 4096u, 8192u, 16384u, 65536u,
               131072u}) {
             for (const dma::SchemeKind k : schemes) {
                 work::FioOpts o;
                 o.scheme = k;
+                o.backend = bk;
                 o.blockBytes = bs;
                 o.runWindow = ctx.window;
                 const work::FioResult r = work::runFio(o);
                 ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
                 ctx.out.param("block_bytes", std::uint64_t(bs));
                 ctx.out.common(r.common);
                 ctx.out.metric("gbytes_per_sec", r.throughputGBps,

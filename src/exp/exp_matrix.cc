@@ -21,14 +21,18 @@ DAMN_EXPERIMENT(table1_matrix)
     e.paper = "Table 1";
     e.axes = {"scheme"};
     e.run = [](RunCtx &ctx) {
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd}))
         for (const dma::SchemeKind k : ctx.schemes) {
-            const work::AttackReport rep = work::runAttacks(k);
+            const work::AttackReport rep = work::runAttacks(k, bk);
 
             net::SystemParams p;
             p.scheme = k;
+            p.backend = bk;
             net::System sys(p);
 
             Run &run = ctx.out.beginRun(dma::schemeKindName(k));
+            ctx.backendParam(bk);
             ctx.out.metric("subpage_protected",
                            rep.colocationTheft ? 0.0 : 1.0, "bool");
             ctx.out.metric("window_protected",

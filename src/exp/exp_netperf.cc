@@ -24,13 +24,18 @@ DAMN_EXPERIMENT(fig1_tradeoffs)
     e.paper = "Figure 1";
     e.axes = {"scheme"};
     e.run = [](RunCtx &ctx) {
-        for (const dma::SchemeKind k : ctx.schemes) {
-            work::NetperfOpts o = work::bidirectionalOpts(k);
-            o.runWindow = ctx.window;
-            o.trace = ctx.traceEvents;
-            const auto run = work::runNetperf(o);
-            ctx.out.beginRun(dma::schemeKindName(k));
-            ctx.out.common(run.common);
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd})) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::NetperfOpts o = work::bidirectionalOpts(k);
+                o.sysParams.backend = bk;
+                o.runWindow = ctx.window;
+                o.trace = ctx.traceEvents;
+                const auto run = work::runNetperf(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
+                ctx.out.common(run.common);
+            }
         }
     };
     return e;
@@ -45,15 +50,19 @@ DAMN_EXPERIMENT(fig4_singlecore)
     e.paper = "Figure 4";
     e.axes = {"scheme", "mode"};
     e.run = [](RunCtx &ctx) {
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd}))
         for (const auto &[mode, label] :
              {std::pair{work::NetMode::Rx, "rx"},
               std::pair{work::NetMode::Tx, "tx"}}) {
             for (const dma::SchemeKind k : ctx.schemes) {
                 work::NetperfOpts o = work::singleCoreOpts(k, mode);
+                o.sysParams.backend = bk;
                 o.runWindow = ctx.window;
                 o.trace = ctx.traceEvents;
                 const auto run = work::runNetperf(o);
                 ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
                 ctx.out.param("mode", label);
                 ctx.out.metric("gbps", run.res.totalGbps, "Gb/s");
                 // Everything is pinned to core 0; machine-wide CPU%
@@ -79,15 +88,19 @@ DAMN_EXPERIMENT(fig5_multicore)
     e.paper = "Figure 5";
     e.axes = {"scheme", "mode"};
     e.run = [](RunCtx &ctx) {
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd}))
         for (const auto &[mode, label] :
              {std::pair{work::NetMode::Rx, "rx"},
               std::pair{work::NetMode::Tx, "tx"}}) {
             for (const dma::SchemeKind k : ctx.schemes) {
                 work::NetperfOpts o = work::multiCoreOpts(k, mode);
+                o.sysParams.backend = bk;
                 o.runWindow = ctx.window;
                 o.trace = ctx.traceEvents;
                 const auto run = work::runNetperf(o);
                 ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
                 ctx.out.param("mode", label);
                 ctx.out.common(run.common);
             }
@@ -105,13 +118,18 @@ DAMN_EXPERIMENT(fig6_membw)
     e.paper = "Figure 6";
     e.axes = {"scheme"};
     e.run = [](RunCtx &ctx) {
-        for (const dma::SchemeKind k : ctx.schemes) {
-            work::NetperfOpts o = work::bidirectionalOpts(k);
-            o.runWindow = ctx.window;
-            o.trace = ctx.traceEvents;
-            const auto run = work::runNetperf(o);
-            ctx.out.beginRun(dma::schemeKindName(k));
-            ctx.out.common(run.common);
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd})) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::NetperfOpts o = work::bidirectionalOpts(k);
+                o.sysParams.backend = bk;
+                o.runWindow = ctx.window;
+                o.trace = ctx.traceEvents;
+                const auto run = work::runNetperf(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
+                ctx.out.common(run.common);
+            }
         }
     };
     return e;
@@ -126,14 +144,19 @@ DAMN_EXPERIMENT(latency_profile)
     e.paper = "extension";
     e.axes = {"scheme"};
     e.run = [](RunCtx &ctx) {
-        for (const dma::SchemeKind k : ctx.schemes) {
-            work::NetperfOpts o =
-                work::multiCoreOpts(k, work::NetMode::Rx);
-            o.runWindow = ctx.window;
-            o.trace = ctx.traceEvents;
-            const auto run = work::runNetperf(o);
-            ctx.out.beginRun(dma::schemeKindName(k));
-            ctx.out.common(run.common, /*with_latency=*/true);
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd})) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::NetperfOpts o =
+                    work::multiCoreOpts(k, work::NetMode::Rx);
+                o.sysParams.backend = bk;
+                o.runWindow = ctx.window;
+                o.trace = ctx.traceEvents;
+                const auto run = work::runNetperf(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
+                ctx.out.common(run.common, /*with_latency=*/true);
+            }
         }
     };
     return e;
@@ -152,14 +175,19 @@ DAMN_EXPERIMENT(netperf_stream)
     e.defaultWindow = work::RunWindow{10 * sim::kNsPerMs,
                                       50 * sim::kNsPerMs};
     e.run = [](RunCtx &ctx) {
-        for (const dma::SchemeKind k : ctx.schemes) {
-            work::NetperfOpts o =
-                work::multiCoreOpts(k, work::NetMode::Rx);
-            o.runWindow = ctx.window;
-            o.trace = ctx.traceEvents;
-            const auto run = work::runNetperf(o);
-            ctx.out.beginRun(dma::schemeKindName(k));
-            ctx.out.common(run.common);
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd})) {
+            for (const dma::SchemeKind k : ctx.schemes) {
+                work::NetperfOpts o =
+                    work::multiCoreOpts(k, work::NetMode::Rx);
+                o.sysParams.backend = bk;
+                o.runWindow = ctx.window;
+                o.trace = ctx.traceEvents;
+                const auto run = work::runNetperf(o);
+                ctx.out.beginRun(dma::schemeKindName(k));
+                ctx.backendParam(bk);
+                ctx.out.common(run.common);
+            }
         }
     };
     return e;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dma/schemes.hh"
+#include "iommu/backend.hh"
 #include "workloads/run_window.hh"
 
 namespace damn::exp {
@@ -159,6 +160,40 @@ struct RunCtx
                     break;
                 }
         return out_v;
+    }
+
+    /** The --backend selection; empty means "experiment default". */
+    std::vector<iommu::BackendKind> backends;
+
+    /** The backend axis this invocation sweeps: the user's --backend
+     *  list when given, else the experiment's @p native default. */
+    std::vector<iommu::BackendKind>
+    backendsOr(const std::vector<iommu::BackendKind> &native) const
+    {
+        return backends.empty() ? native : backends;
+    }
+
+    /**
+     * True when the invocation's backend axis differs from the
+     * baseline {vtd}.  Output stays byte-compatible with pre-backend
+     * versions: the "backend" run parameter (and the driver's
+     * "backends" header key) is emitted only when this holds.
+     */
+    bool
+    explicitBackendAxis() const
+    {
+        return !(backends.empty() ||
+                 (backends.size() == 1 &&
+                  backends[0] == iommu::BackendKind::Vtd));
+    }
+
+    /** Record the backend axis value of the current run (only when
+     *  the axis was explicitly swept; see explicitBackendAxis()). */
+    void
+    backendParam(iommu::BackendKind bk) const
+    {
+        if (explicitBackendAxis())
+            out.param("backend", iommu::backendKindName(bk));
     }
 };
 

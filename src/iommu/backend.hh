@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The IOMMU backend concept: everything that differs between IOMMU
+ * *hardware families* lives behind this interface, so the generic
+ * facade (iommu.hh), the protection schemes (dma/schemes.hh) and the
+ * DAMN allocator (core/) are written once and run unchanged on every
+ * modeled implementation.
+ *
+ * A backend owns:
+ *
+ *  - the IOTLB (geometry differs per implementation — see TlbGeometry),
+ *  - the page-walk latency model (walk caches, descriptor fetches),
+ *  - the invalidation machinery (VT-d's invalidation queue vs the
+ *    SMMUv3 command queue) with its per-op cost and contention model,
+ *  - the device attach/detach hooks (VT-d context entries vs SMMUv3
+ *    stream-table entries),
+ *  - the hardware-side fault reporting structure (VT-d fault recording
+ *    registers vs the SMMUv3 event queue),
+ *  - the IOVA address layout the allocators partition (AddressLayout).
+ *
+ * Concrete models: backend_vtd.hh (Intel VT-d, the paper's testbed)
+ * and backend_smmu.hh (ARM SMMUv3).
+ */
+
+#ifndef DAMN_IOMMU_BACKEND_HH
+#define DAMN_IOMMU_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iommu/iotlb.hh"
+#include "sim/context.hh"
+
+namespace damn::iommu {
+
+/** Which hardware model backs the IOMMU facade. */
+enum class BackendKind : std::uint8_t
+{
+    Vtd,    //!< Intel VT-d (the paper's testbed)
+    SmmuV3, //!< ARM SMMUv3
+};
+
+const char *backendKindName(BackendKind k);
+
+/** Parse a --backend= token; returns false on an unknown name. */
+bool backendFromName(const std::string &name, BackendKind *out);
+
+/** Why a DMA was blocked. */
+enum class FaultReason : std::uint8_t
+{
+    NotPresent,  //!< no mapping covers the IOVA
+    Permission,  //!< mapping exists but lacks the access right
+    Quarantined, //!< the domain is quarantined after repeated faults
+    Injected,    //!< forced by the fault injector (transient HW fault)
+    Detached,    //!< the domain was detached (device torn down)
+};
+
+const char *faultReasonName(FaultReason r);
+
+/** One entry of the IOMMU fault log (a fault recording register on
+ *  VT-d, an event-queue record on SMMUv3). */
+struct FaultRecord
+{
+    DomainId domain = 0;
+    Iova iova = 0;
+    bool isWrite = false;
+    FaultReason reason = FaultReason::NotPresent;
+    sim::TimeNs time = 0;
+};
+
+/**
+ * How a backend carves up its IOVA space.  Everything is derived from
+ * the implemented input-address width: the top bit tags DAMN's encoded
+ * half (paper section 5.4) and the DAMN metadata fields are packed
+ * immediately below it (paper figure 3), so a backend with a narrower
+ * input size shifts the whole encoding down rather than breaking it.
+ *
+ * For the default 48-bit layout the derived values reproduce the
+ * paper's concrete split:
+ *
+ *   47    46..40   39..37    36..30   29      28..0
+ *   [1]   cpu idx  rights    dev idx  numa    offset (512 MiB/region)
+ */
+struct AddressLayout
+{
+    /** Implemented input-address width, bits. */
+    unsigned iovaBits = 48;
+
+    /** Bit tagging DAMN's half of the space (the MSB). */
+    constexpr unsigned tagBit() const { return iovaBits - 1; }
+    /** Mask of the tag bit (== the DAMN half's base address). */
+    constexpr Iova tagMask() const { return Iova{1} << tagBit(); }
+    /** Exclusive ceiling of the DMA-API half managed by IovaAllocator. */
+    constexpr Iova dmaApiLimit() const { return tagMask(); }
+
+    // DAMN metadata fields (core/iova_encoding.hh), packed below the tag.
+    constexpr unsigned cpuShift() const { return tagBit() - 7; }
+    constexpr unsigned rightsShift() const { return tagBit() - 10; }
+    constexpr unsigned devShift() const { return tagBit() - 17; }
+    constexpr unsigned numaShift() const { return tagBit() - 18; }
+    /** Per-(cpu, rights, dev, numa) region offset space. */
+    constexpr std::uint64_t offsetMask() const
+    {
+        return (std::uint64_t{1} << numaShift()) - 1;
+    }
+    /** Region shift of the dense (non-encoded) DAMN IOVA mode. */
+    constexpr unsigned denseRegionShift() const { return tagBit() - 13; }
+
+    constexpr bool operator==(const AddressLayout &) const = default;
+};
+
+/** IOTLB dimensions of a backend (see Iotlb's constructor). */
+struct TlbGeometry
+{
+    unsigned sets4k = 256;
+    unsigned ways4k = 4;
+    unsigned sets2m = 32;
+    unsigned ways2m = 4;
+    unsigned pwcEntries = 32;
+};
+
+/**
+ * Abstract IOMMU hardware model.  The generic Iommu facade delegates
+ * every hardware-specific operation here; all methods charge their
+ * costs through the owning sim::Context.
+ *
+ * Invalidation-ordering contract (what the schemes rely on):
+ *
+ *  - the three flush entry points return the *completion* time; when
+ *    they return, the invalidated translations are gone from tlb()
+ *    unless an injected `iommu.inval` fault dropped the operation
+ *    (time spent, stale entries survive — the recovery tests poke
+ *    exactly this hole);
+ *  - an entry stays visible (stale) until a flush covering it
+ *    completes — this models the deferred-mode vulnerability window
+ *    on every backend;
+ *  - calls serialize on backend-defined producer locks, which is where
+ *    the backends price contention differently (VT-d holds its global
+ *    queue lock for the whole hardware round trip; SMMUv3 holds the
+ *    command-queue lock only while producing commands).
+ */
+class IommuBackend
+{
+  public:
+    /** One range of a scatter-gather invalidation. */
+    struct InvalRange
+    {
+        DomainId domain;
+        Iova iova;
+        std::uint64_t len;
+    };
+
+    IommuBackend(sim::Context &ctx, const TlbGeometry &g)
+        : ctx_(ctx), tlb_(g.sets4k, g.ways4k, g.sets2m, g.ways2m,
+                          g.pwcEntries)
+    {}
+
+    virtual ~IommuBackend() = default;
+    IommuBackend(const IommuBackend &) = delete;
+    IommuBackend &operator=(const IommuBackend &) = delete;
+
+    virtual BackendKind kind() const = 0;
+    const char *name() const { return backendKindName(kind()); }
+    virtual AddressLayout layout() const = 0;
+
+    // ---- Device lifecycle ------------------------------------------
+
+    /** A domain was created or re-attached: install the hardware
+     *  config that routes the device to its page table (a VT-d context
+     *  entry, an SMMUv3 STE + CD). */
+    virtual void attachDevice(DomainId d) = 0;
+
+    /** The domain is being torn down: drop the routing config.  Like
+     *  the facade's teardown IOTLB flush this is modeled as guaranteed
+     *  (not injectable). */
+    virtual void detachDevice(DomainId d) = 0;
+
+    // ---- Translation -----------------------------------------------
+
+    /**
+     * Device-visible latency of translating @p iova after a tlb() miss
+     * (walk caches and descriptor fetches are looked up *and filled*
+     * here, so call it exactly once per miss).
+     */
+    virtual sim::TimeNs walkLatency(DomainId d, Iova iova) = 0;
+
+    // ---- Invalidation ----------------------------------------------
+
+    /**
+     * Synchronously invalidate one IOVA range (the strict scheme's
+     * per-unmap flush).
+     * @return completion time.
+     */
+    virtual sim::TimeNs syncInvalidate(sim::Core &core, sim::TimeNs now,
+                                       DomainId domain, Iova iova,
+                                       std::uint64_t len) = 0;
+
+    /**
+     * Synchronously invalidate a scatter-gather list of ranges with
+     * one completion wait (dma_unmap_sg under the strict scheme).
+     * @return completion time.
+     */
+    virtual sim::TimeNs
+    syncInvalidateRanges(sim::Core &core, sim::TimeNs now,
+                         const std::vector<InvalRange> &ranges) = 0;
+
+    /**
+     * One batched flush covering many deferred unmaps, scoped to
+     * @p domains so one device's flush cannot evict every other
+     * domain's warm entries.
+     * @return completion time.
+     */
+    virtual sim::TimeNs
+    batchedFlush(sim::Core &core, sim::TimeNs now,
+                 const std::vector<DomainId> &domains) = 0;
+
+    /**
+     * Global flush.  Used when the released mappings span every domain
+     * at once — e.g. the DAMN shrinker returning chunks from all
+     * device caches — where one global command beats per-domain ones.
+     * @return completion time.
+     */
+    virtual sim::TimeNs batchedFlushAll(sim::Core &core,
+                                        sim::TimeNs now) = 0;
+
+    // ---- Fault delivery --------------------------------------------
+
+    /**
+     * A translation faulted: record it in the backend's hardware-side
+     * reporting structure.  The facade keeps the driver-side bounded
+     * log and the quarantine logic; backends only model how the
+     * hardware surfaces the event (VT-d: fault recording registers,
+     * already covered by the facade log, so a no-op; SMMUv3: the
+     * bounded event queue with overflow accounting).
+     */
+    virtual void deliverFault(const FaultRecord &) {}
+
+    /** The backend's IOTLB (geometry chosen by the implementation). */
+    Iotlb &tlb() { return tlb_; }
+    const Iotlb &tlb() const { return tlb_; }
+
+  protected:
+    sim::Context &ctx_;
+    Iotlb tlb_;
+};
+
+/** Construct a backend model. */
+std::unique_ptr<IommuBackend> makeBackend(BackendKind kind,
+                                          sim::Context &ctx);
+
+} // namespace damn::iommu
+
+#endif // DAMN_IOMMU_BACKEND_HH

@@ -7,24 +7,6 @@
 
 namespace damn::iommu {
 
-const char *
-faultReasonName(FaultReason r)
-{
-    switch (r) {
-      case FaultReason::NotPresent:
-        return "not-present";
-      case FaultReason::Permission:
-        return "permission";
-      case FaultReason::Quarantined:
-        return "quarantined";
-      case FaultReason::Injected:
-        return "injected";
-      case FaultReason::Detached:
-        return "detached";
-    }
-    return "?";
-}
-
 void
 Iommu::recordFault(DomainId d, Iova iova, bool is_write,
                    FaultReason reason)
@@ -41,6 +23,9 @@ Iommu::recordFault(DomainId d, Iova iova, bool is_write,
         faultLog_.push_back(rec);
     else
         ++faultLogOverflows_;
+    // Hardware-side delivery (the SMMUv3 event queue; a no-op on
+    // VT-d, whose recording registers the log above already models).
+    backend_->deliverFault(rec);
     if (quarantineThreshold_ != 0 && reason != FaultReason::Quarantined &&
         df >= quarantineThreshold_)
         quarantined_.at(d) = true;
@@ -78,7 +63,8 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
 
     const std::uint32_t need = is_write ? PermWrite : PermRead;
 
-    if (const TlbEntry *e = iotlb_.lookup(d, iova)) {
+    Iotlb &tlb = backend_->tlb();
+    if (const TlbEntry *e = tlb.lookup(d, iova)) {
         if ((e->perm & need) == need) {
             const std::uint64_t mask =
                 (e->huge ? kHugePageSize : mem::kPageSize) - 1;
@@ -93,8 +79,7 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
     }
 
     const WalkResult w = pageTable(d).walk(iova);
-    r.latencyNs = iotlb_.walkCached(d, iova) ? ctx_.cost.iotlbWalkPwcNs
-                                             : ctx_.cost.iotlbWalkNs;
+    r.latencyNs = backend_->walkLatency(d, iova);
     // Misses only: per-hit instants would dwarf everything else in the
     // trace, and the hit count is already in the IOTLB stats.
     ctx_.tracer.instant(0, sim::TraceCat::Iotlb, "iotlb.miss",
@@ -106,7 +91,7 @@ Iommu::translate(DomainId d, Iova iova, bool is_write)
                               : FaultReason::NotPresent);
         return r;
     }
-    iotlb_.insert(d, iova, w);
+    tlb.insert(d, iova, w);
     r.ok = true;
     r.pa = w.pa;
     return r;

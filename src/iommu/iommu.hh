@@ -1,20 +1,25 @@
 /**
  * @file
- * IOMMU facade: domains, translation, fault reporting, invalidation
- * queue, statistics.
+ * IOMMU facade: domains, translation, fault reporting, statistics.
  *
- * Models an Intel VT-d style IOMMU: per-device protection domains with
- * their own I/O page tables, a shared IOTLB, and a single invalidation
- * queue whose submission lock is global — the contention point that
- * cripples the *strict* protection scheme in the paper (sections 4.1,
- * 6.1).
+ * The facade is backend-neutral: per-device protection domains with
+ * their own I/O page tables, device-side translation through the
+ * backend's IOTLB, and a driver-side bounded fault log with quarantine
+ * semantics.  Everything hardware-specific — invalidation machinery
+ * and its contention model, TLB/walk-cache geometry, device-routing
+ * structures, the hardware fault-reporting ring — lives behind the
+ * iommu::IommuBackend interface (backend.hh); see backend_vtd.hh for
+ * the Intel VT-d model the paper measured and backend_smmu.hh for the
+ * ARM SMMUv3 model.
  *
  * Faults are *reported*, not just counted: blocked DMAs append a
  * FaultRecord (domain, IOVA, direction, reason, timestamp) to a
- * bounded log with VT-d-style overflow semantics, drive an optional
- * callback, and — past a configurable per-domain threshold — quarantine
- * the offending device until it is reset.  This is the substrate the
- * recovery paths and the attack-attribution tests build on.
+ * bounded log with overflow-as-a-count semantics, are delivered to the
+ * backend's hardware-side reporting structure, drive an optional
+ * callback, and — past a configurable per-domain threshold —
+ * quarantine the offending device until it is reset.  This is the
+ * substrate the recovery paths and the attack-attribution tests build
+ * on.
  */
 
 #ifndef DAMN_IOMMU_IOMMU_HH
@@ -26,10 +31,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "iommu/backend.hh"
 #include "iommu/io_pgtable.hh"
 #include "iommu/iotlb.hh"
 #include "sim/context.hh"
-#include "sim/sim_mutex.hh"
 
 namespace damn::iommu {
 
@@ -42,16 +47,6 @@ struct TranslateResult
     sim::TimeNs latencyNs = 0; //!< device-visible latency (walks)
 };
 
-/** Why a DMA was blocked. */
-enum class FaultReason : std::uint8_t
-{
-    NotPresent,  //!< no mapping covers the IOVA
-    Permission,  //!< mapping exists but lacks the access right
-    Quarantined, //!< the domain is quarantined after repeated faults
-    Injected,    //!< forced by the fault injector (transient HW fault)
-    Detached,    //!< the domain was detached (device torn down)
-};
-
 /** What a MapObserver is being told about. */
 enum class MapEvent : std::uint8_t
 {
@@ -60,112 +55,11 @@ enum class MapEvent : std::uint8_t
     DetachClear, //!< detachDomain() dropped the domain's whole table
 };
 
-const char *faultReasonName(FaultReason r);
-
-/** One entry of the IOMMU fault log (a VT-d fault recording register). */
-struct FaultRecord
-{
-    DomainId domain = 0;
-    Iova iova = 0;
-    bool isWrite = false;
-    FaultReason reason = FaultReason::NotPresent;
-    sim::TimeNs time = 0;
-};
-
 /**
- * The invalidation queue: submissions serialize on a global lock, and
- * strict-mode callers hold it for the full invalidate + wait round trip.
- */
-class InvalidationQueue
-{
-  public:
-    explicit InvalidationQueue(sim::Context &ctx) : ctx_(ctx) {}
-
-    /**
-     * Synchronously invalidate an IOVA range (strict mode): acquire the
-     * global queue lock, submit, wait for completion, release.  The
-     * caller's core burns the spin + wait time.  An injected
-     * `iommu.inval` fault drops the command: the time is spent but the
-     * stale entries survive.
-     * @return completion time.
-     */
-    sim::TimeNs
-    syncInvalidate(sim::Core &core, sim::TimeNs now, Iotlb &tlb,
-                   DomainId domain, Iova iova, std::uint64_t len)
-    {
-        const sim::TimeNs done = lock_.acquireAndHold(
-            core, now, ctx_.cost.strictInvalidateNs,
-            ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
-        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
-            ctx_.stats.add("iommu.inval_dropped");
-            return done;
-        }
-        tlb.invalidateRange(domain, iova, len);
-        ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
-                            "iotlb.invalidate_range", done, 0, len);
-        return done;
-    }
-
-    /**
-     * One batched flush covering many deferred unmaps: a single lock
-     * acquisition and a single (larger) hardware operation, scoped to
-     * the domains whose unmaps are being flushed so one device's
-     * deferred flush cannot evict every other domain's warm entries.
-     * @return completion time.
-     */
-    sim::TimeNs
-    batchedFlush(sim::Core &core, sim::TimeNs now, Iotlb &tlb,
-                 const std::vector<DomainId> &domains)
-    {
-        const sim::TimeNs done =
-            lock_.acquireAndHold(core, now, ctx_.cost.deferredFlushNs,
-                                 1.0, ctx_.engine.now());
-        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
-            ctx_.stats.add("iommu.inval_dropped");
-            return done;
-        }
-        for (const DomainId d : domains)
-            tlb.invalidateDomain(d);
-        ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
-                            "iotlb.invalidate_domains", done, 0,
-                            domains.size());
-        return done;
-    }
-
-    /**
-     * Global flush (VT-d global IOTLB invalidation).  Used when the
-     * released mappings span every domain at once — e.g. the DAMN
-     * shrinker returning chunks from all device caches — where one
-     * global command is cheaper than per-domain commands.
-     * @return completion time.
-     */
-    sim::TimeNs
-    batchedFlushAll(sim::Core &core, sim::TimeNs now, Iotlb &tlb)
-    {
-        const sim::TimeNs done =
-            lock_.acquireAndHold(core, now, ctx_.cost.deferredFlushNs,
-                                 1.0, ctx_.engine.now());
-        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
-            ctx_.stats.add("iommu.inval_dropped");
-            return done;
-        }
-        tlb.invalidateAll();
-        ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
-                            "iotlb.invalidate_all", done);
-        return done;
-    }
-
-    sim::SimMutex &lock() { return lock_; }
-
-  private:
-    sim::Context &ctx_;
-    sim::SimMutex lock_;
-};
-
-/**
- * The IOMMU: owns domains, the IOTLB, the invalidation queue and the
- * fault log; performs device-side translations and tracks mapping
- * statistics (pages *ever* vs *currently* mapped — figure 9).
+ * The IOMMU: owns domains, the hardware backend (which owns the IOTLB
+ * and invalidation machinery) and the fault log; performs device-side
+ * translations and tracks mapping statistics (pages *ever* vs
+ * *currently* mapped — figure 9).
  */
 class Iommu
 {
@@ -175,16 +69,18 @@ class Iommu
     using MapObserver =
         std::function<void(MapEvent, DomainId, Iova, unsigned pages)>;
 
-    /** Default fault-log capacity (VT-d exposes a small register file;
-     *  we model a driver-side bounded ring). */
+    /** Default fault-log capacity (hardware exposes a small reporting
+     *  structure; we model a driver-side bounded ring). */
     static constexpr std::size_t kDefaultFaultLogCapacity = 256;
 
     /**
      * @param enabled  when false, translate() is an identity map
      *                 (the paper's iommu-off baseline).
+     * @param kind     hardware model backing this IOMMU.
      */
-    Iommu(sim::Context &ctx, bool enabled = true)
-        : ctx_(ctx), enabled_(enabled), invalQueue_(ctx)
+    Iommu(sim::Context &ctx, bool enabled = true,
+          BackendKind kind = BackendKind::Vtd)
+        : ctx_(ctx), enabled_(enabled), backend_(makeBackend(kind, ctx))
     {}
 
     Iommu(const Iommu &) = delete;
@@ -192,6 +88,13 @@ class Iommu
 
     bool enabled() const { return enabled_; }
     void setEnabled(bool e) { enabled_ = e; }
+
+    /** The hardware model (invalidation entry points live here). */
+    IommuBackend &backend() { return *backend_; }
+    const IommuBackend &backend() const { return *backend_; }
+    BackendKind backendKind() const { return backend_->kind(); }
+    /** The backend's IOVA address layout (allocators partition on it). */
+    AddressLayout layout() const { return backend_->layout(); }
 
     /** Create a protection domain (one per attached device). */
     DomainId
@@ -201,7 +104,9 @@ class Iommu
         domainFaults_.push_back(0);
         quarantined_.push_back(false);
         detached_.push_back(false);
-        return DomainId(domains_.size() - 1);
+        const auto d = DomainId(domains_.size() - 1);
+        backend_->attachDevice(d);
+        return d;
     }
 
     unsigned numDomains() const { return unsigned(domains_.size()); }
@@ -253,8 +158,8 @@ class Iommu
      */
     TranslateResult translate(DomainId d, Iova iova, bool is_write);
 
-    Iotlb &iotlb() { return iotlb_; }
-    InvalidationQueue &invalQueue() { return invalQueue_; }
+    /** The backend's IOTLB (shorthand for backend().tlb()). */
+    Iotlb &iotlb() { return backend_->tlb(); }
 
     /** Distinct frames that were ever DMA-mapped (figure 9). */
     std::uint64_t everMappedFrames() const { return everMapped_.size(); }
@@ -282,8 +187,8 @@ class Iommu
     /** The bounded fault log, oldest first. */
     const std::vector<FaultRecord> &faultLog() const { return faultLog_; }
 
-    /** Records dropped because the log was full (VT-d's overflow bit,
-     *  as a count). */
+    /** Records dropped because the log was full (hardware raises an
+     *  overflow flag; we keep a count). */
     std::uint64_t faultLogOverflows() const { return faultLogOverflows_; }
 
     void clearFaultLog() { faultLog_.clear(); faultLogOverflows_ = 0; }
@@ -323,7 +228,7 @@ class Iommu
     {
         quarantined_.at(d) = false;
         domainFaults_.at(d) = 0;
-        iotlb_.invalidateDomain(d);
+        backend_->tlb().invalidateDomain(d);
     }
 
     // ---- Device lifecycle ------------------------------------------
@@ -335,9 +240,10 @@ class Iommu
 
     /**
      * Tear down a detached/unplugged device's domain: drop its whole
-     * I/O page table, flush its IOTLB entries (direct hardware flush —
-     * teardown invalidation is modeled as guaranteed, not injectable),
-     * and fault every later DMA with FaultReason::Detached.
+     * I/O page table, its backend routing config, and its IOTLB
+     * entries (direct hardware flush — teardown invalidation is
+     * modeled as guaranteed, not injectable), and fault every later
+     * DMA with FaultReason::Detached.
      *
      * Drivers are expected to have unmapped everything *before* this;
      * the return value counts the 4 KiB-equivalent pages the teardown
@@ -349,7 +255,8 @@ class Iommu
     {
         const std::uint64_t leaked = domains_.at(d)->mappedPages();
         domains_.at(d) = std::make_unique<IoPageTable>();
-        iotlb_.invalidateDomain(d);
+        backend_->tlb().invalidateDomain(d);
+        backend_->detachDevice(d);
         detached_.at(d) = true;
         notifyObserver(MapEvent::DetachClear, d, 0, 0);
         return leaked;
@@ -357,8 +264,8 @@ class Iommu
 
     /**
      * Re-attach after a replug: fresh (empty) domain state, fault
-     * count zeroed, quarantine lifted.  The page table is whatever
-     * detachDomain() left — empty.
+     * count zeroed, quarantine lifted, routing config re-installed.
+     * The page table is whatever detachDomain() left — empty.
      */
     void
     attachDomain(DomainId d)
@@ -366,6 +273,7 @@ class Iommu
         detached_.at(d) = false;
         quarantined_.at(d) = false;
         domainFaults_.at(d) = 0;
+        backend_->attachDevice(d);
     }
 
   private:
@@ -389,9 +297,8 @@ class Iommu
 
     sim::Context &ctx_;
     bool enabled_;
+    std::unique_ptr<IommuBackend> backend_;
     std::vector<std::unique_ptr<IoPageTable>> domains_;
-    Iotlb iotlb_;
-    InvalidationQueue invalQueue_;
     std::unordered_set<mem::Pfn> everMapped_;
 
     std::uint64_t faults_ = 0;

@@ -44,13 +44,17 @@ class Iotlb
     /**
      * @param sets4k / @p ways4k  geometry of the 4 KiB bank.
      * @param sets2m / @p ways2m  geometry of the 2 MiB bank.
+     * @param pwc_entries         page-walk-cache capacity (backends
+     *                            differ; see iommu::TlbGeometry).
      */
     Iotlb(unsigned sets4k = 256, unsigned ways4k = 4,
-          unsigned sets2m = 32, unsigned ways2m = 4)
+          unsigned sets2m = 32, unsigned ways2m = 4,
+          unsigned pwc_entries = 32)
         : sets4k_(sets4k), ways4k_(ways4k),
           sets2m_(sets2m), ways2m_(ways2m),
           bank4k_(std::size_t(sets4k) * ways4k),
-          bank2m_(std::size_t(sets2m) * ways2m)
+          bank2m_(std::size_t(sets2m) * ways2m),
+          pwc_(pwc_entries)
     {}
 
     /** Look up @p iova for @p domain; returns nullptr on miss. */
@@ -123,12 +127,11 @@ class Iotlb
         Iova tag = 0;
         std::uint64_t lastUse = 0;
     };
-    static constexpr unsigned kPwcEntries = 32;
 
     unsigned sets4k_, ways4k_, sets2m_, ways2m_;
     std::vector<TlbEntry> bank4k_;
     std::vector<TlbEntry> bank2m_;
-    std::vector<PwcEntry> pwc_ = std::vector<PwcEntry>(kPwcEntries);
+    std::vector<PwcEntry> pwc_;
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -93,6 +93,19 @@ class IovaAllocator
     }
 
     /**
+     * Bound the space by the backend's address layout: the DMA-API
+     * half ends where the DAMN tag bit begins.  Defaults to the
+     * 48-bit layout's kDamnIovaBit; schemes call this with
+     * Iommu::layout().dmaApiLimit() at construction.
+     */
+    void
+    setAddressLimit(Iova ceiling)
+    {
+        cap_ = ceiling;
+        limit_ = std::min(limit_, cap_);
+    }
+
+    /**
      * Constrain the allocatable space to @p bytes past kIovaBase
      * (experiments use small spaces to reach the exhaustion wall
      * quickly).  Defaults to the full DMA-API half.  Shrinking below
@@ -101,7 +114,7 @@ class IovaAllocator
     void
     setSpaceBytes(std::uint64_t bytes)
     {
-        limit_ = std::min(kDamnIovaBit, kIovaBase + bytes);
+        limit_ = std::min(cap_, kIovaBase + bytes);
     }
 
     /** Current ceiling of the allocatable space, bytes past base. */
@@ -137,6 +150,7 @@ class IovaAllocator
 
   private:
     Iova next_ = kIovaBase;
+    Iova cap_ = kDamnIovaBit;   //!< the backend layout's dmaApiLimit()
     Iova limit_ = kDamnIovaBit;
     std::map<unsigned, std::vector<Iova>> freeLists_;
     std::uint64_t recycled_ = 0;

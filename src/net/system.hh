@@ -25,6 +25,8 @@ namespace damn::net {
 struct SystemParams
 {
     dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    /** Hardware IOMMU model the machine deploys (VT-d or SMMUv3). */
+    iommu::BackendKind backend = iommu::BackendKind::Vtd;
     std::uint64_t physBytes = 1ull << 32;   //!< 4 GiB (sparsely backed)
     sim::CostModel cost{};
     unsigned sockets = 2;
@@ -53,7 +55,7 @@ class System
           phys(p.physBytes),
           pageAlloc(phys, p.sockets),
           heap(pageAlloc),
-          mmu(ctx, /*enabled=*/schemeUsesIommu(p)),
+          mmu(ctx, /*enabled=*/schemeUsesIommu(p), p.backend),
           pageFrag(ctx, pageAlloc),
           accessorStorage_()
     {

@@ -198,6 +198,37 @@ struct CostModel
     /** DAMN dma_unmap interposition: IOVA MSB check, ns. */
     TimeNs damnUnmapCheckNs = 5;
 
+    // ---- ARM SMMUv3 backend ----------------------------------------
+    // The command-queue architecture splits what VT-d prices as one
+    // locked round trip (strictInvalidateNs) into a cheap *producer*
+    // slot under the cmdq lock and an asynchronous *consumer* drain
+    // awaited outside it — the contention asymmetry the backend_matrix
+    // experiment measures.
+    /** Producing one command into the queue (slot reservation + two
+     *  64-bit writes + PROD update), held under the cmdq lock, ns. */
+    TimeNs smmuCmdSubmitNs = 40;
+    /** CMD_SYNC completion round trip once the queue ahead of it has
+     *  drained (MSI or sev-based wakeup), ns. */
+    TimeNs smmuCmdSyncNs = 380;
+    /** Consuming one CMD_TLBI_* (walking and nuking TLB tags), ns. */
+    TimeNs smmuTlbiNs = 95;
+    /** Fraction of the out-of-lock CMD_SYNC wait booked as busy
+     *  (wfe-based polling is gentler than VT-d's pause loop). */
+    double smmuSyncSpinBusyFraction = 0.25;
+    /** SMMUv3 translation-table walk on a walk-cache miss, ns.  ARM
+     *  walks are 3-4 levels like VT-d but the SMMU shares the
+     *  interconnect path with device traffic — slightly slower. */
+    TimeNs smmuWalkNs = 90;
+    /** Walk with hot upper levels (walk-cache hit), ns. */
+    TimeNs smmuWalkPwcNs = 20;
+    /** STE + CD fetch on a config-cache miss (first walk after
+     *  attach/CFGI), ns. */
+    TimeNs smmuCdFetchNs = 120;
+    /** Command-queue ring capacity, commands (2^CMDQS). */
+    unsigned smmuCmdqDepth = 256;
+    /** Event-queue ring capacity, fault records (2^EVTQS). */
+    unsigned smmuEvtqDepth = 128;
+
     // ---- NIC / PCIe / memory ceilings ------------------------------
     /** Per-port line rate, Gb/s (ConnectX-4). */
     double nicPortGbps = 100.0;

@@ -181,11 +181,12 @@ faultsSince(const iommu::Iommu &mmu, std::size_t mark, iommu::DomainId d)
 } // namespace
 
 AttackReport
-runAttacks(dma::SchemeKind scheme)
+runAttacks(dma::SchemeKind scheme, iommu::BackendKind backend)
 {
     AttackReport rep;
     net::SystemParams p;
     p.scheme = scheme;
+    p.backend = backend;
     net::System sys(p);
     net::NicDevice nic(sys, "mlx5_evil");
     net::TcpStack stack(sys, nic);

@@ -82,8 +82,11 @@ class AttackerDevice : public dma::Device
     std::size_t faultMark_ = 0;
 };
 
-/** Run all three attacks against a fresh System under @p scheme. */
-AttackReport runAttacks(dma::SchemeKind scheme);
+/** Run all three attacks against a fresh System under @p scheme,
+ *  deployed on @p backend's IOMMU model. */
+AttackReport runAttacks(dma::SchemeKind scheme,
+                        iommu::BackendKind backend =
+                            iommu::BackendKind::Vtd);
 
 } // namespace damn::work
 

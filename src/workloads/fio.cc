@@ -167,6 +167,7 @@ runFio(const FioOpts &opts)
     // faster than the Broadwell server's.
     net::SystemParams p;
     p.scheme = opts.scheme;
+    p.backend = opts.backend;
     p.sockets = 2;
     p.coresPerSocket = 12;
     p.cost.cpuGhz = 2.4;

@@ -23,6 +23,7 @@ namespace damn::work {
 struct FioOpts
 {
     dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    iommu::BackendKind backend = iommu::BackendKind::Vtd;
     unsigned jobs = 12;
     unsigned queueDepth = 32;
     std::uint32_t blockBytes = 512;

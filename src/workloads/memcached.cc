@@ -143,6 +143,7 @@ runMemcached(const MemcachedOpts &opts)
 {
     net::SystemParams p;
     p.scheme = opts.scheme;
+    p.backend = opts.backend;
     net::System sys(p);
     sys.ctx.functionalData = false;
     net::NicDevice nic(sys, "mlx5_0");

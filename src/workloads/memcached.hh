@@ -19,6 +19,7 @@ namespace damn::work {
 struct MemcachedOpts
 {
     dma::SchemeKind scheme = dma::SchemeKind::IommuOff;
+    iommu::BackendKind backend = iommu::BackendKind::Vtd;
     unsigned instances = 28;
     std::uint32_t valueBytes = 512 * 1024;
     /** Socket-write flush granularity of the server's event loop (no

@@ -102,6 +102,24 @@ TEST(IovaEncoding, PermOf)
     EXPECT_EQ(permOf(Rights::RW), iommu::PermRW);
 }
 
+TEST(IovaEncoding, NarrowBackendLayoutRoundTrips)
+{
+    // A backend implementing fewer input bits shifts the whole figure-3
+    // encoding down instead of breaking it.
+    constexpr iommu::AddressLayout lay{40};
+    const std::uint64_t off = 0x123000;
+    const iommu::Iova iova = encodeIova(3, Rights::Write, 7, 1, off, lay);
+    EXPECT_TRUE(isDamnIova(iova, lay));
+    EXPECT_LT(iova, 1ull << 40);
+    EXPECT_FALSE(isDamnIova(iova)); // not tagged in the 48-bit layout
+    const IovaFields f = decodeIova(iova, lay);
+    EXPECT_EQ(f.cpu, 3);
+    EXPECT_EQ(f.rights, Rights::Write);
+    EXPECT_EQ(f.devIdx, 7u);
+    EXPECT_EQ(f.numa, 1);
+    EXPECT_EQ(f.offset, off);
+}
+
 // ---------------------------------------------------------------------
 // Magazine / Depot
 // ---------------------------------------------------------------------

@@ -58,10 +58,12 @@ constexpr unsigned kWindow = 8; //!< concurrently mapped RX buffers
  */
 SchemeRun
 runScheme(dma::SchemeKind kind, std::uint64_t seed,
-          std::optional<unsigned> corrupt_packet = std::nullopt)
+          std::optional<unsigned> corrupt_packet = std::nullopt,
+          iommu::BackendKind backend = iommu::BackendKind::Vtd)
 {
     net::SystemParams p;
     p.scheme = kind;
+    p.backend = backend;
     net::System sys(p);
     sys.ctx.functionalData = true; // payload bytes must actually move
 
@@ -253,6 +255,40 @@ TEST(Differential, SameSchemeSameSeedIsDeterministic)
 }
 
 // ---------------------------------------------------------------------
+// Backend equivalence: the IOMMU hardware model (VT-d vs SMMUv3) is a
+// *timing* variant — it must never change what the application sees.
+// ---------------------------------------------------------------------
+
+TEST(Differential, SchemesDeliverIdenticalPayloadsOnSmmuV3)
+{
+    const SchemeRun base =
+        runScheme(dma::SchemeKind::IommuOff, 42, std::nullopt,
+                  iommu::BackendKind::SmmuV3);
+    ASSERT_EQ(base.rx.size(), kPackets);
+    for (const dma::SchemeKind k : kSchemes) {
+        if (k == dma::SchemeKind::IommuOff)
+            continue;
+        const SchemeRun other = runScheme(k, 42, std::nullopt,
+                                          iommu::BackendKind::SmmuV3);
+        const auto d = firstDivergence(base, other);
+        EXPECT_FALSE(d.has_value()) << *d;
+    }
+}
+
+TEST(Differential, BackendsDeliverIdenticalPayloads)
+{
+    for (const dma::SchemeKind k : kSchemes) {
+        const SchemeRun vtd = runScheme(k, 42, std::nullopt,
+                                        iommu::BackendKind::Vtd);
+        const SchemeRun smmu = runScheme(k, 42, std::nullopt,
+                                         iommu::BackendKind::SmmuV3);
+        const auto d = firstDivergence(vtd, smmu);
+        EXPECT_FALSE(d.has_value())
+            << dma::schemeKindName(k) << " vtd vs smmuv3: " << *d;
+    }
+}
+
+// ---------------------------------------------------------------------
 // The suite can fail: an injected one-byte corruption in one scheme's
 // delivery path must be detected as a divergence.
 // ---------------------------------------------------------------------
@@ -297,13 +333,21 @@ TEST(Differential, SecurityOutcomesMatchTable1)
         {dma::SchemeKind::Deferred, true, true, true},
         {dma::SchemeKind::Shadow, false, false, false},
     };
-    for (const Expect &e : table) {
-        const work::AttackReport r = work::runAttacks(e.kind);
-        EXPECT_EQ(r.colocationTheft, e.colocation)
-            << dma::schemeKindName(e.kind);
-        EXPECT_EQ(r.staleWindowTheft, e.staleWindow)
-            << dma::schemeKindName(e.kind);
-        EXPECT_EQ(r.tocttou, e.tocttou)
-            << dma::schemeKindName(e.kind);
+    // The protection matrix is a property of the *scheme*, not of the
+    // IOMMU hardware model: pin it on both backends.
+    for (const iommu::BackendKind bk :
+         {iommu::BackendKind::Vtd, iommu::BackendKind::SmmuV3}) {
+        for (const Expect &e : table) {
+            const work::AttackReport r = work::runAttacks(e.kind, bk);
+            EXPECT_EQ(r.colocationTheft, e.colocation)
+                << dma::schemeKindName(e.kind) << " on "
+                << iommu::backendKindName(bk);
+            EXPECT_EQ(r.staleWindowTheft, e.staleWindow)
+                << dma::schemeKindName(e.kind) << " on "
+                << iommu::backendKindName(bk);
+            EXPECT_EQ(r.tocttou, e.tocttou)
+                << dma::schemeKindName(e.kind) << " on "
+                << iommu::backendKindName(bk);
+        }
     }
 }

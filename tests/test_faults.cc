@@ -295,13 +295,13 @@ TEST_F(FaultIommuFixture, InjectedInvalDropKeepsStaleEntry)
 
     ctx.faults.enable(13);
     ctx.faults.failNth(sim::FaultSite::IommuInval, 1);
-    mmu.invalQueue().syncInvalidate(ctx.machine.core(0), 0,
-                                    mmu.iotlb(), d, 0x1000, 4096);
+    mmu.backend().syncInvalidate(ctx.machine.core(0), 0, d, 0x1000,
+                                 4096);
     // The dropped command left the stale entry behind...
     EXPECT_NE(mmu.iotlb().lookup(d, 0x1000), nullptr);
     // ...and the next (uninjected) invalidation clears it.
-    mmu.invalQueue().syncInvalidate(ctx.machine.core(0), 0,
-                                    mmu.iotlb(), d, 0x1000, 4096);
+    mmu.backend().syncInvalidate(ctx.machine.core(0), 0, d, 0x1000,
+                                 4096);
     EXPECT_EQ(mmu.iotlb().lookup(d, 0x1000), nullptr);
 }
 

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "iommu/backend_smmu.hh"
+#include "iommu/backend_vtd.hh"
 #include "iommu/iommu.hh"
 #include "iommu/iova_alloc.hh"
+#include "sim/fault_injector.hh"
 
 using namespace damn;
 using namespace damn::iommu;
@@ -441,14 +444,12 @@ TEST_F(IommuFixture, EverVsCurrentlyMapped)
 TEST_F(IommuFixture, SyncInvalidateSerializesOnLock)
 {
     const DomainId d = mmu.createDomain();
-    auto &q = mmu.invalQueue();
+    auto &be = mmu.backend();
     sim::Core &a = ctx.machine.core(0);
     sim::Core &b = ctx.machine.core(1);
-    const sim::TimeNs t1 =
-        q.syncInvalidate(a, 0, mmu.iotlb(), d, 0x5000, 0x1000);
+    const sim::TimeNs t1 = be.syncInvalidate(a, 0, d, 0x5000, 0x1000);
     EXPECT_EQ(t1, ctx.cost.strictInvalidateNs);
-    const sim::TimeNs t2 =
-        q.syncInvalidate(b, 0, mmu.iotlb(), d, 0x6000, 0x1000);
+    const sim::TimeNs t2 = be.syncInvalidate(b, 0, d, 0x6000, 0x1000);
     EXPECT_EQ(t2, 2 * ctx.cost.strictInvalidateNs);
 }
 
@@ -458,8 +459,7 @@ TEST_F(IommuFixture, BatchedFlushInvalidatesEverything)
     mmu.mapPage(d, 0x5000, 0x9000, PermRW);
     mmu.translate(d, 0x5000, true);
     mmu.unmapPage(d, 0x5000);
-    mmu.invalQueue().batchedFlush(ctx.machine.core(0), 0, mmu.iotlb(),
-                                  {d});
+    mmu.backend().batchedFlush(ctx.machine.core(0), 0, {d});
     EXPECT_TRUE(mmu.translate(d, 0x5000, true).fault);
 }
 
@@ -471,4 +471,372 @@ TEST_F(IommuFixture, HugeMappingTranslates)
     EXPECT_TRUE(r.ok);
     EXPECT_EQ(r.pa, 0x200000u + 0x123456);
     EXPECT_EQ(mmu.everMappedFrames(), 512u);
+}
+
+// ---------------------------------------------------------------------
+// Backend conformance: both hardware models must behave identically
+// through the facade (map/unmap/translate/invalidate/fault/detach).
+// ---------------------------------------------------------------------
+
+class BackendConformance : public ::testing::TestWithParam<BackendKind>
+{
+  protected:
+    BackendConformance()
+        : ctx(sim::CostModel{}, 1, 2), mmu(ctx, true, GetParam())
+    {}
+
+    sim::Context ctx;
+    Iommu mmu;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendConformance,
+    ::testing::Values(BackendKind::Vtd, BackendKind::SmmuV3),
+    [](const ::testing::TestParamInfo<BackendKind> &p) {
+        return std::string(backendKindName(p.param)) == "vtd" ? "vtd"
+                                                              : "smmuv3";
+    });
+
+TEST_P(BackendConformance, ReportsItsKind)
+{
+    EXPECT_EQ(mmu.backendKind(), GetParam());
+    EXPECT_EQ(mmu.backend().kind(), GetParam());
+    EXPECT_STREQ(mmu.backend().name(), backendKindName(GetParam()));
+}
+
+TEST_P(BackendConformance, MapTranslateUnmap)
+{
+    const DomainId d = mmu.createDomain();
+    ASSERT_TRUE(mmu.mapPage(d, 0x5000, 0x9000, PermRW));
+    const TranslateResult r = mmu.translate(d, 0x5123, true);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, 0x9123u);
+    ASSERT_TRUE(mmu.unmapPage(d, 0x5000));
+    mmu.backend().syncInvalidate(ctx.machine.core(0), 0, d, 0x5000,
+                                 4096);
+    EXPECT_TRUE(mmu.translate(d, 0x5123, true).fault);
+}
+
+TEST_P(BackendConformance, SyncInvalidateRevokesStaleEntry)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    mmu.translate(d, 0x5000, true); // cache it
+    mmu.unmapPage(d, 0x5000);
+    // Stale until a flush covering the range completes: the contract
+    // every deferred-window experiment relies on, on both backends.
+    EXPECT_TRUE(mmu.translate(d, 0x5000, true).ok);
+    const sim::TimeNs done = mmu.backend().syncInvalidate(
+        ctx.machine.core(0), 0, d, 0x5000, 4096);
+    EXPECT_GT(done, 0u);
+    EXPECT_TRUE(mmu.translate(d, 0x5000, true).fault);
+}
+
+TEST_P(BackendConformance, SyncInvalidateRangesRevokesAll)
+{
+    const DomainId d = mmu.createDomain();
+    for (Iova va = 0x5000; va < 0x8000; va += 0x1000) {
+        mmu.mapPage(d, va, 0x10000 + va, PermRW);
+        mmu.translate(d, va, true);
+        mmu.unmapPage(d, va);
+    }
+    const std::vector<IommuBackend::InvalRange> ranges = {
+        {d, 0x5000, 4096}, {d, 0x6000, 4096}, {d, 0x7000, 4096}};
+    mmu.backend().syncInvalidateRanges(ctx.machine.core(0), 0, ranges);
+    for (Iova va = 0x5000; va < 0x8000; va += 0x1000)
+        EXPECT_TRUE(mmu.translate(d, va, true).fault) << va;
+}
+
+TEST_P(BackendConformance, BatchedFlushScopedToDomains)
+{
+    const DomainId a = mmu.createDomain();
+    const DomainId b = mmu.createDomain();
+    mmu.mapPage(a, 0x5000, 0x9000, PermRW);
+    mmu.mapPage(b, 0x5000, 0xa000, PermRW);
+    mmu.translate(a, 0x5000, true);
+    mmu.translate(b, 0x5000, true);
+    mmu.unmapPage(a, 0x5000);
+    mmu.backend().batchedFlush(ctx.machine.core(0), 0, {a});
+    EXPECT_TRUE(mmu.translate(a, 0x5000, true).fault);
+    // Domain b's warm entry must survive a flush scoped to a.
+    EXPECT_NE(mmu.iotlb().lookup(b, 0x5000), nullptr);
+}
+
+TEST_P(BackendConformance, BatchedFlushAllClearsEverything)
+{
+    const DomainId a = mmu.createDomain();
+    const DomainId b = mmu.createDomain();
+    mmu.mapPage(a, 0x5000, 0x9000, PermRW);
+    mmu.mapPage(b, 0x6000, 0xa000, PermRW);
+    mmu.translate(a, 0x5000, true);
+    mmu.translate(b, 0x6000, true);
+    mmu.backend().batchedFlushAll(ctx.machine.core(0), 0);
+    EXPECT_EQ(mmu.iotlb().lookup(a, 0x5000), nullptr);
+    EXPECT_EQ(mmu.iotlb().lookup(b, 0x6000), nullptr);
+}
+
+TEST_P(BackendConformance, FaultRecordedOnUnmappedAccess)
+{
+    const DomainId d = mmu.createDomain();
+    EXPECT_TRUE(mmu.translate(d, 0xdead000, true).fault);
+    ASSERT_EQ(mmu.faultLog().size(), 1u);
+    EXPECT_EQ(mmu.faultLog()[0].domain, d);
+    EXPECT_EQ(mmu.faultLog()[0].iova, 0xdead000u);
+    EXPECT_EQ(mmu.faultLog()[0].reason, FaultReason::NotPresent);
+}
+
+TEST_P(BackendConformance, PermissionFaultParity)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRead);
+    EXPECT_TRUE(mmu.translate(d, 0x5000, false).ok);
+    EXPECT_TRUE(mmu.translate(d, 0x5000, true).fault);
+    ASSERT_EQ(mmu.faultLog().size(), 1u);
+    EXPECT_EQ(mmu.faultLog()[0].reason, FaultReason::Permission);
+}
+
+TEST_P(BackendConformance, DetachStopsTranslation)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    mmu.translate(d, 0x5000, true);
+    mmu.detachDomain(d);
+    const TranslateResult r = mmu.translate(d, 0x5000, true);
+    EXPECT_TRUE(r.fault);
+    EXPECT_EQ(mmu.faultLog().back().reason, FaultReason::Detached);
+}
+
+TEST_P(BackendConformance, LayoutPartitionsAt48Bits)
+{
+    // Both modeled configurations implement 48 input bits, so DAMN's
+    // encoding and the DMA-API allocator ceiling are identical.
+    const AddressLayout lay = mmu.layout();
+    EXPECT_EQ(lay.iovaBits, 48u);
+    EXPECT_EQ(lay.dmaApiLimit(), Iova{1} << 47);
+}
+
+// ---------------------------------------------------------------------
+// AddressLayout derivations
+// ---------------------------------------------------------------------
+
+TEST(AddressLayout, Default48BitMatchesPaperSplit)
+{
+    constexpr AddressLayout lay{};
+    EXPECT_EQ(lay.tagBit(), 47u);
+    EXPECT_EQ(lay.tagMask(), 1ull << 47);
+    EXPECT_EQ(lay.cpuShift(), 40u);
+    EXPECT_EQ(lay.rightsShift(), 37u);
+    EXPECT_EQ(lay.devShift(), 30u);
+    EXPECT_EQ(lay.numaShift(), 29u);
+    EXPECT_EQ(lay.offsetMask(), (1ull << 29) - 1);
+    EXPECT_EQ(lay.denseRegionShift(), 34u);
+}
+
+TEST(AddressLayout, NarrowLayoutShiftsWholeEncodingDown)
+{
+    constexpr AddressLayout lay{40};
+    EXPECT_EQ(lay.tagBit(), 39u);
+    EXPECT_EQ(lay.dmaApiLimit(), 1ull << 39);
+    EXPECT_EQ(lay.cpuShift(), 32u);
+    EXPECT_EQ(lay.numaShift(), 21u);
+    EXPECT_EQ(lay.offsetMask(), (1ull << 21) - 1);
+}
+
+TEST(IovaAllocator, AddressLimitCapsFreshSpace)
+{
+    IovaAllocator a;
+    a.setAddressLimit(kIovaBase + 2 * mem::kPageSize);
+    const Iova first = a.alloc(1);
+    const Iova second = a.alloc(1);
+    EXPECT_NE(first, kInvalidIova);
+    EXPECT_NE(second, kInvalidIova);
+    EXPECT_EQ(a.alloc(1), kInvalidIova) << "past the backend ceiling";
+    a.free(first, 1);
+    EXPECT_EQ(a.alloc(1), first) << "recycling still works at the cap";
+}
+
+TEST(IovaAllocator, SpaceBytesClampedToAddressLimit)
+{
+    IovaAllocator a;
+    a.setAddressLimit(kIovaBase + (1ull << 20));
+    a.setSpaceBytes(1ull << 40); // experiment knob above the ceiling
+    EXPECT_EQ(a.spaceBytes(), 1ull << 20);
+}
+
+// ---------------------------------------------------------------------
+// SMMUv3 specifics: command-queue batching, CMD_SYNC ordering, the
+// config cache, and the bounded event queue.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct SmmuFixture : ::testing::Test
+{
+    SmmuFixture() : SmmuFixture(sim::CostModel{}) {}
+    explicit SmmuFixture(const sim::CostModel &cm)
+        : ctx(cm, 1, 2), mmu(ctx, true, BackendKind::SmmuV3),
+          smmu(dynamic_cast<SmmuV3Backend &>(mmu.backend()))
+    {}
+
+    sim::Context ctx;
+    Iommu mmu;
+    SmmuV3Backend &smmu;
+};
+
+} // namespace
+
+TEST_F(SmmuFixture, TlbiIsPendingUntilCmdSync)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    mmu.translate(d, 0x5000, true);
+    mmu.unmapPage(d, 0x5000);
+
+    smmu.submitTlbiRange(ctx.machine.core(0), 0, d, 0x5000, 4096);
+    EXPECT_EQ(smmu.pendingCommands(), 1u);
+    // No CMD_SYNC yet: the stale translation is still served.
+    EXPECT_NE(mmu.iotlb().lookup(d, 0x5000), nullptr);
+
+    smmu.sync(ctx.machine.core(0), 0);
+    EXPECT_EQ(smmu.pendingCommands(), 0u);
+    EXPECT_EQ(mmu.iotlb().lookup(d, 0x5000), nullptr);
+}
+
+TEST_F(SmmuFixture, CmdSyncCoversEveryPriorCommand)
+{
+    const DomainId d = mmu.createDomain();
+    for (Iova va = 0x5000; va < 0x8000; va += 0x1000) {
+        mmu.mapPage(d, va, 0x10000 + va, PermRW);
+        mmu.translate(d, va, true);
+        mmu.unmapPage(d, va);
+        smmu.submitTlbiRange(ctx.machine.core(0), 0, d, va, 4096);
+    }
+    EXPECT_EQ(smmu.pendingCommands(), 3u);
+    smmu.sync(ctx.machine.core(0), 0);
+    for (Iova va = 0x5000; va < 0x8000; va += 0x1000)
+        EXPECT_EQ(mmu.iotlb().lookup(d, va), nullptr) << va;
+}
+
+TEST_F(SmmuFixture, BatchedRangesBeatPerOpSyncs)
+{
+    const DomainId d = mmu.createDomain();
+    const std::vector<IommuBackend::InvalRange> ranges = {
+        {d, 0x5000, 4096}, {d, 0x6000, 4096}, {d, 0x7000, 4096}};
+    const sim::TimeNs batched = smmu.syncInvalidateRanges(
+        ctx.machine.core(0), 0, ranges);
+
+    // Per-op on the second core, serially: each unmap pays its own
+    // CMD_SYNC round trip.
+    sim::TimeNs serial = 0;
+    for (const auto &r : ranges) {
+        serial = smmu.syncInvalidate(ctx.machine.core(1), serial,
+                                     r.domain, r.iova, r.len);
+    }
+    EXPECT_LT(batched, serial)
+        << "one CMD_SYNC amortizes over the whole batch";
+}
+
+TEST_F(SmmuFixture, ProducerLockReleasedBeforeConsumption)
+{
+    // The architectural asymmetry vs VT-d: with the same per-core
+    // arrival times, the second core's batch completes well before
+    // two full VT-d invalidation round trips (2 * 1650 ns), because
+    // the cmdq lock covers only command production.
+    const DomainId d = mmu.createDomain();
+    smmu.submitTlbiRange(ctx.machine.core(0), 0, d, 0x5000, 4096);
+    const sim::TimeNs other =
+        smmu.syncInvalidate(ctx.machine.core(1), 0, d, 0x6000, 4096);
+    EXPECT_LT(other, 2 * ctx.cost.strictInvalidateNs);
+}
+
+TEST_F(SmmuFixture, ConfigCacheFetchesDescriptorOnce)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    EXPECT_FALSE(smmu.configCached(d));
+    const sim::TimeNs first = smmu.walkLatency(d, 0x5000);
+    EXPECT_TRUE(smmu.configCached(d));
+    const sim::TimeNs second = smmu.walkLatency(d, 0x5000);
+    EXPECT_GT(first, second) << "CD fetch + cold walk vs cached walk";
+    EXPECT_EQ(ctx.stats.get("smmu.cd_fetches"), 1u);
+}
+
+TEST_F(SmmuFixture, DetachDropsStreamTableEntryAndConfigCache)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    smmu.walkLatency(d, 0x5000);
+    ASSERT_TRUE(smmu.configCached(d));
+    mmu.detachDomain(d);
+    EXPECT_FALSE(smmu.configCached(d));
+    EXPECT_GE(ctx.stats.get("smmu.cfgi_ste"), 1u);
+}
+
+TEST_F(SmmuFixture, InjectedInvalDropKeepsStaleEntries)
+{
+    const DomainId d = mmu.createDomain();
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    mmu.translate(d, 0x5000, true);
+    mmu.unmapPage(d, 0x5000);
+
+    ctx.faults.enable(13);
+    ctx.faults.failNth(sim::FaultSite::IommuInval, 1);
+    smmu.syncInvalidate(ctx.machine.core(0), 0, d, 0x5000, 4096);
+    // The dropped CMD_SYNC left the stale entry behind...
+    EXPECT_NE(mmu.iotlb().lookup(d, 0x5000), nullptr);
+    EXPECT_EQ(ctx.stats.get("iommu.inval_dropped"), 1u);
+    // ...and the next (uninjected) one clears it.
+    smmu.syncInvalidate(ctx.machine.core(0), 0, d, 0x5000, 4096);
+    EXPECT_EQ(mmu.iotlb().lookup(d, 0x5000), nullptr);
+}
+
+namespace {
+
+struct SmmuTinyQueues : SmmuFixture
+{
+    static sim::CostModel
+    tiny()
+    {
+        sim::CostModel cm;
+        cm.smmuCmdqDepth = 4;
+        cm.smmuEvtqDepth = 2;
+        return cm;
+    }
+    SmmuTinyQueues() : SmmuFixture(tiny()) {}
+};
+
+} // namespace
+
+TEST_F(SmmuTinyQueues, FullCommandQueueStallsTheProducer)
+{
+    const DomainId d = mmu.createDomain();
+    sim::TimeNs t = 0;
+    for (unsigned i = 0; i < 6; ++i) {
+        t = smmu.submitTlbiRange(ctx.machine.core(0), t, d,
+                                 0x5000 + Iova(i) * 0x1000, 4096);
+    }
+    EXPECT_GE(ctx.stats.get("smmu.cmdq_stalls"), 1u)
+        << "6 TLBIs through a 4-deep ring must stall at least once";
+    smmu.sync(ctx.machine.core(0), t);
+}
+
+TEST_F(SmmuTinyQueues, EventQueueBoundedWithOverflowFlag)
+{
+    const DomainId d = mmu.createDomain();
+    for (Iova va = 0; va < 4; ++va)
+        EXPECT_TRUE(mmu.translate(d, 0xdead000 + va * 0x1000, true)
+                        .fault);
+    // Two records fit; two raised the overflow condition.  The
+    // driver-side facade log is NOT bounded by the hardware ring.
+    EXPECT_EQ(smmu.eventQueue().size(), 2u);
+    EXPECT_EQ(smmu.eventQueueOverflows(), 2u);
+    EXPECT_EQ(mmu.faultLog().size(), 4u);
+    EXPECT_EQ(ctx.stats.get("smmu.evtq_overflows"), 2u);
+
+    // Draining the ring clears the condition: new records land again.
+    const auto drained = smmu.drainEventQueue();
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].reason, FaultReason::NotPresent);
+    EXPECT_TRUE(mmu.translate(d, 0xbeef000, true).fault);
+    EXPECT_EQ(smmu.eventQueue().size(), 1u);
 }
