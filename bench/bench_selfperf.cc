@@ -20,6 +20,7 @@
  * schema (used by the bench-selfperf-smoke ctest).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +50,15 @@ const char kUsage[] =
     "  --measure-ms=N    experiment-unit measure window (20)\n"
     "  --check=PATH      validate an existing artifact against the\n"
     "                    schema and exit (no benchmarking)\n"
+    "  --regress-check=PATH\n"
+    "                    re-run the engine A/B microbench and fail\n"
+    "                    (exit 5) if the measured fast/legacy speedup\n"
+    "                    falls more than --tolerance percent below\n"
+    "                    PATH's recorded engine.speedup.  The ratio is\n"
+    "                    host-independent (both engines run on the\n"
+    "                    same machine back to back), unlike the raw\n"
+    "                    events/sec numbers.\n"
+    "  --tolerance=PCT   allowed speedup regression (default 15)\n"
     "  --help            this text\n";
 
 double
@@ -99,7 +109,7 @@ struct ChurnTimer
 /** Dispatch @p target events through @p Eng; wall events/sec. */
 template <typename Eng>
 double
-engineEventsPerSec(std::uint64_t target)
+engineEventsPerSecOnce(std::uint64_t target)
 {
     Eng eng;
     std::uint64_t dispatched = 0;
@@ -113,6 +123,24 @@ engineEventsPerSec(std::uint64_t target)
     eng.runAll();
     const auto t1 = std::chrono::steady_clock::now();
     return double(eng.dispatched()) / wallSeconds(t0, t1);
+}
+
+/**
+ * Best-of-K events/sec: scheduler preemption and frequency scaling
+ * only ever make a trial *slower*, so the max over trials is the
+ * least-noisy estimate of the engine's true rate — what both the
+ * artifact and the bench-selfperf-tolerance regression gate record.
+ */
+constexpr unsigned kEngineTrials = 5;
+
+template <typename Eng>
+double
+engineEventsPerSec(std::uint64_t target)
+{
+    double best = 0.0;
+    for (unsigned i = 0; i < kEngineTrials; ++i)
+        best = std::max(best, engineEventsPerSecOnce<Eng>(target));
+    return best;
 }
 
 struct UnitResult
@@ -231,6 +259,60 @@ checkSchema(const damn::exp::Json &doc, std::string *err)
     return true;
 }
 
+/**
+ * Perf-regression gate (the bench-selfperf-tolerance ctest): re-run
+ * the engine A/B and compare the measured speedup ratio against the
+ * committed baseline.  Exit 5 — distinct from schema/usage errors — on
+ * a regression beyond the tolerance.
+ */
+int
+regressCheck(const std::string &path, double tolerance_pct,
+             std::uint64_t events)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_selfperf: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    double baseline = 0.0;
+    try {
+        const damn::exp::Json doc = damn::exp::Json::parse(ss.str());
+        std::string err;
+        if (!checkSchema(doc, &err)) {
+            std::fprintf(stderr,
+                         "bench_selfperf: %s: schema violation: %s\n",
+                         path.c_str(), err.c_str());
+            return 1;
+        }
+        baseline = doc.find("engine")->find("speedup")->asDouble();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_selfperf: %s: parse error: %s\n",
+                     path.c_str(), e.what());
+        return 1;
+    }
+
+    const double legacy =
+        engineEventsPerSec<damn::bench::LegacyEngine>(events);
+    const double fast = engineEventsPerSec<damn::sim::Engine>(events);
+    const double measured = fast / legacy;
+    const double floor = baseline * (1.0 - tolerance_pct / 100.0);
+    std::printf("engine speedup: measured %.3fx, baseline %.3fx, "
+                "floor %.3fx (tolerance %.0f%%)\n",
+                measured, baseline, floor, tolerance_pct);
+    if (measured < floor) {
+        std::fprintf(stderr,
+                     "bench_selfperf: engine fast-path REGRESSION: "
+                     "%.3fx < %.3fx\n",
+                     measured, floor);
+        return 5;
+    }
+    std::printf("engine fast path within tolerance\n");
+    return 0;
+}
+
 int
 checkFile(const std::string &path)
 {
@@ -266,6 +348,8 @@ main(int argc, char **argv)
 {
     std::string out = "BENCH_selfperf.json";
     std::string check;
+    std::string regress;
+    double tolerance = 15.0;
     std::uint64_t events = 2'000'000;
     TimeNs warmup_ns = 5 * damn::sim::kNsPerMs;
     TimeNs measure_ns = 20 * damn::sim::kNsPerMs;
@@ -284,6 +368,16 @@ main(int argc, char **argv)
             out = value;
         } else if (key == "--check" && !value.empty()) {
             check = value;
+        } else if (key == "--regress-check" && !value.empty()) {
+            regress = value;
+        } else if (key == "--tolerance" && !value.empty()) {
+            tolerance = std::strtod(value.c_str(), nullptr);
+            if (!(tolerance > 0.0 && tolerance < 100.0)) {
+                std::fprintf(stderr,
+                             "bench_selfperf: --tolerance must be in "
+                             "(0, 100)\n");
+                return 2;
+            }
         } else if (key == "--events" && !value.empty()) {
             events = std::strtoull(value.c_str(), nullptr, 10);
         } else if (key == "--warmup-ms" && !value.empty()) {
@@ -300,6 +394,14 @@ main(int argc, char **argv)
     }
     if (!check.empty())
         return checkFile(check);
+    if (!regress.empty()) {
+        if (events == 0) {
+            std::fprintf(stderr,
+                         "bench_selfperf: --events must be positive\n");
+            return 2;
+        }
+        return regressCheck(regress, tolerance, events);
+    }
     if (events == 0 || measure_ns == 0) {
         std::fprintf(stderr,
                      "bench_selfperf: --events/--measure-ms must be "

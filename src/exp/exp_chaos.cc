@@ -21,6 +21,7 @@
 
 #include "core/audit.hh"
 #include "exp/experiment.hh"
+#include "iommu/backend_smmu.hh"
 #include "nvme/nvme.hh"
 #include "workloads/netperf.hh"
 
@@ -56,6 +57,12 @@ struct CycleTotals
     std::uint64_t surpriseUnplugs = 0;
     std::uint64_t nvmeAborted = 0;
     std::uint64_t nvmeOk = 0;
+    // SMMUv3 event-queue accounting (zero on VT-d): conservation
+    // requires faults == in-ring + drained + overflowed at soak end.
+    std::uint64_t evtqInRing = 0;
+    std::uint64_t evtqDrained = 0;
+    std::uint64_t evtqOverflows = 0;
+    std::uint64_t iommuFaults = 0;
 };
 
 std::uint64_t
@@ -68,8 +75,8 @@ outstandingIovasOf(net::System &sys, iommu::DomainId d)
 }
 
 CycleTotals
-soakOneScheme(dma::SchemeKind kind, std::uint64_t seed,
-              std::uint64_t cycles,
+soakOneScheme(dma::SchemeKind kind, iommu::BackendKind backend,
+              std::uint64_t seed, std::uint64_t cycles,
               std::map<std::string, std::uint64_t> *stats_out)
 {
     work::NetperfOpts o;
@@ -79,8 +86,11 @@ soakOneScheme(dma::SchemeKind kind, std::uint64_t seed,
     o.coreLimit = 2;
     o.segBytes = 16 * 1024;
     o.window = 8;
+    o.sysParams.backend = backend;
     work::NetperfRun run = work::makeNetperfSystem(o);
     net::System &sys = *run.sys;
+    auto *smmu =
+        dynamic_cast<iommu::SmmuV3Backend *>(&sys.mmu.backend());
 
     nvme::NvmeDevice nvme(sys.ctx, "nvme0", sys.mmu, sys.phys);
     // The auditor installs the Iommu map observer; both domains exist
@@ -179,6 +189,12 @@ soakOneScheme(dma::SchemeKind kind, std::uint64_t seed,
             t.auditViolations += rep.violations.size();
         }
 
+        // Driver-side event-queue consumption, as a real SMMUv3 fault
+        // handler would do each interrupt: keeps the bounded ring from
+        // pinning at its overflow wall across cycles.
+        if (smmu)
+            smmu->drainEventQueue(); // lifetime total read at soak end
+
         // ---- Replug: next cycle gets a fresh device -----------------
         sys.mmu.attachDomain(run.nic->domain());
         sys.mmu.attachDomain(nvme.domain());
@@ -197,6 +213,12 @@ soakOneScheme(dma::SchemeKind kind, std::uint64_t seed,
     sys.ctx.engine.runAll();
 
     t.nvmeAborted = nvme.abortedCmds();
+    t.iommuFaults = sys.mmu.faults();
+    if (smmu) {
+        t.evtqInRing = smmu->eventQueue().size();
+        t.evtqDrained = smmu->eventQueueDrained();
+        t.evtqOverflows = smmu->eventQueueOverflows();
+    }
     sys.pageAlloc.freePages(io_pfn, 0);
     *stats_out = sys.ctx.stats.snapshot();
     return t;
@@ -209,7 +231,7 @@ DAMN_EXPERIMENT(chaos_soak)
     e.title = "Unplug/replug soak under fault storm: hangs and "
               "teardown-audit violations per scheme (both must be 0)";
     e.paper = "extension";
-    e.axes = {"scheme"};
+    e.axes = {"scheme", "backend"};
     // 20 ms of measurement == 50 unplug/replug cycles per scheme.
     e.defaultWindow = {0, 20 * sim::kNsPerMs};
     e.run = [](RunCtx &ctx) {
@@ -218,11 +240,17 @@ DAMN_EXPERIMENT(chaos_soak)
         const std::vector<dma::SchemeKind> schemes = ctx.schemesAmong(
             {dma::SchemeKind::Strict, dma::SchemeKind::Deferred,
              dma::SchemeKind::Shadow, dma::SchemeKind::Damn});
+        // Native backend axis is the baseline VT-d; --backend widens
+        // the soak (e.g. --backend=all runs the same storm against
+        // the SMMUv3 model's cmdq/event-queue machinery).
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd}))
         for (const dma::SchemeKind k : schemes) {
             std::map<std::string, std::uint64_t> stats;
             const CycleTotals t =
-                soakOneScheme(k, ctx.seed, cycles, &stats);
+                soakOneScheme(k, bk, ctx.seed, cycles, &stats);
             Run &row = ctx.out.beginRun(dma::schemeKindName(k));
+            ctx.backendParam(bk);
             ctx.out.metric("cycles", double(t.cycles), "count");
             ctx.out.metric("hangs", double(t.hangs), "count");
             ctx.out.metric("audit_violations",
@@ -243,6 +271,18 @@ DAMN_EXPERIMENT(chaos_soak)
             ctx.out.metric("nvme_ok_cmds", double(t.nvmeOk), "count");
             ctx.out.metric("nvme_aborted_cmds", double(t.nvmeAborted),
                            "count");
+            if (bk == iommu::BackendKind::SmmuV3) {
+                // Event-queue conservation, visible in the artifact:
+                // faults == in-ring + drained + overflowed.
+                ctx.out.metric("iommu_faults", double(t.iommuFaults),
+                               "count");
+                ctx.out.metric("evtq_in_ring", double(t.evtqInRing),
+                               "count");
+                ctx.out.metric("evtq_drained", double(t.evtqDrained),
+                               "count");
+                ctx.out.metric("evtq_overflows",
+                               double(t.evtqOverflows), "count");
+            }
             row.stats = std::move(stats);
         }
     };

@@ -59,7 +59,8 @@ constexpr std::uint64_t kStallBudgetEvents = 200'000;
 constexpr sim::TimeNs kReliefNs = 5 * sim::kNsPerMs;
 
 void
-stormOne(RunCtx &ctx, dma::SchemeKind kind, const StormSpec &spec)
+stormOne(RunCtx &ctx, dma::SchemeKind kind, iommu::BackendKind backend,
+         const StormSpec &spec)
 {
     work::NetperfOpts o;
     o.scheme = kind;
@@ -69,6 +70,7 @@ stormOne(RunCtx &ctx, dma::SchemeKind kind, const StormSpec &spec)
     o.segBytes = 16 * 1024;
     o.window = 32;
     o.runWindow = ctx.window;
+    o.sysParams.backend = backend;
     o.sysParams.iovaSpaceBytes = spec.iovaSpaceBytes;
     if (spec.physBytes != 0)
         o.sysParams.physBytes = spec.physBytes;
@@ -147,6 +149,7 @@ stormOne(RunCtx &ctx, dma::SchemeKind kind, const StormSpec &spec)
     sys.ctx.engine.disarmWatchdog();
 
     Run &row = ctx.out.beginRun(dma::schemeKindName(kind));
+    ctx.backendParam(backend);
     ctx.out.param("storm", std::string(spec.storm));
     ctx.out.param("iova_kbytes", spec.iovaSpaceBytes / 1024);
     ctx.out.param("phys_mbytes",
@@ -190,8 +193,8 @@ DAMN_EXPERIMENT(pressure_storm)
     e.title = "Resource-pressure storms: IOVA/memory exhaustion and "
               "recovery per scheme (no asserts, no hangs)";
     e.paper = "extension";
-    e.axes = {"scheme", "storm", "iova_kbytes", "phys_mbytes",
-              "free_frames"};
+    e.axes = {"scheme", "backend", "storm", "iova_kbytes",
+              "phys_mbytes", "free_frames"};
     e.defaultWindow = {5 * sim::kNsPerMs, 20 * sim::kNsPerMs};
     e.run = [](RunCtx &ctx) {
         // IOVA storms: 512 KiB starves even the posted RX rings;
@@ -209,9 +212,14 @@ DAMN_EXPERIMENT(pressure_storm)
         const std::vector<dma::SchemeKind> schemes = ctx.schemesAmong(
             {dma::SchemeKind::Strict, dma::SchemeKind::Deferred,
              dma::SchemeKind::Shadow, dma::SchemeKind::Damn});
-        for (const dma::SchemeKind k : schemes)
-            for (const StormSpec &spec : sweep)
-                stormOne(ctx, k, spec);
+        // Native backend axis is the baseline VT-d; --backend widens
+        // the sweep (e.g. --backend=all exercises the SMMUv3 cmdq
+        // stall path under the same exhaustion storms).
+        for (const iommu::BackendKind bk :
+             ctx.backendsOr({iommu::BackendKind::Vtd}))
+            for (const dma::SchemeKind k : schemes)
+                for (const StormSpec &spec : sweep)
+                    stormOne(ctx, k, bk, spec);
     };
     return e;
 }

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Replayable fuzz corpus files (`*.dfz`).
+ *
+ * A corpus file pins one cell, one op sequence, and the verdict the
+ * run produced when it was recorded, in a line-oriented text format
+ * that diffs and reviews cleanly:
+ *
+ *     dfz 1
+ *     scheme strict
+ *     backend vtd
+ *     seed 42
+ *     inject none            # or: stale-tlb
+ *     verdict clean          # or the violated oracle's name
+ *     ops 4
+ *     map 0 3 2
+ *     dma 0 0 0
+ *     inject_bug 0 0 0
+ *     unmap 0 0 0
+ *
+ * `inject stale-tlb` arms the Iotlb::debugDropInvalidations self-check
+ * hook exactly as FuzzConfig::injectStaleBug does, so shrunk repros of
+ * the planted bug replay faithfully.  Replaying a file re-executes the
+ * sequence and compares the fresh verdict against the recorded one —
+ * the regression-corpus contract the `damn_fuzz --replay` flag and the
+ * fuzz-smoke ctest enforce.
+ */
+
+#ifndef DAMN_FUZZ_CORPUS_HH
+#define DAMN_FUZZ_CORPUS_HH
+
+#include <string>
+
+#include "fuzz/harness.hh"
+
+namespace damn::fuzz {
+
+/** In-memory form of one .dfz corpus file. */
+struct CorpusFile
+{
+    FuzzConfig cfg;       //!< cell + seed + inject flag
+    Sequence seq;         //!< the literal op list (NOT regenerated)
+    std::string verdict;  //!< "clean" or the violated oracle name
+};
+
+/** The verdict string a result maps to. */
+std::string verdictOf(const FuzzResult &res);
+
+/** Render @p file in the .dfz text format. */
+std::string serializeCorpus(const CorpusFile &file);
+
+/**
+ * Parse .dfz text.  Unknown header keys are rejected (version-1 files
+ * are fully specified).  On failure returns false and sets @p err.
+ */
+bool parseCorpus(const std::string &text, CorpusFile *out,
+                 std::string *err);
+
+/** Write @p file to @p path; false (with @p err) on I/O failure. */
+bool saveCorpus(const std::string &path, const CorpusFile &file,
+                std::string *err);
+
+/** Read and parse @p path. */
+bool loadCorpus(const std::string &path, CorpusFile *out,
+                std::string *err);
+
+/** Outcome of replaying a corpus file. */
+struct ReplayOutcome
+{
+    bool reproduced = false; //!< fresh verdict == recorded verdict
+    std::string verdict;     //!< the fresh verdict
+    FuzzResult result;
+};
+
+/** Re-execute @p file's sequence and compare verdicts. */
+ReplayOutcome replayCorpus(const CorpusFile &file);
+
+} // namespace damn::fuzz
+
+#endif // DAMN_FUZZ_CORPUS_HH

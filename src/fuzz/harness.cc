@@ -1,0 +1,689 @@
+/**
+ * @file
+ * Fuzz harness implementation: sequence generation, the cell executor,
+ * and the invariant oracles.  See harness.hh for the oracle contracts
+ * and the soundness argument for the stale-translation tracking.
+ */
+
+#include "fuzz/harness.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/audit.hh"
+#include "dma/device.hh"
+#include "fuzz/rng.hh"
+#include "iommu/backend_smmu.hh"
+#include "net/system.hh"
+
+namespace damn::fuzz {
+
+namespace {
+
+/** DMA buffer sizes the generator draws from (b-field modulo). */
+constexpr std::uint32_t kLens[6] = {64, 512, 1024, 4096, 16384, 65536};
+
+/** Live-mapping cap: a Map beyond this executes as an Unmap, keeping
+ *  the working set bounded for arbitrarily long sequences. */
+constexpr std::size_t kMaxLive = 400;
+
+/** Watchdog budget: engine dispatches allowed without op progress. */
+constexpr std::uint64_t kWatchdogBudget = 200000;
+
+/**
+ * Ordered set of disjoint [lo, hi) byte ranges with coalescing insert,
+ * splitting erase, and O(log n) overlap query — the representation for
+ * the per-domain pending / must-not-translate IOVA range tracking.
+ */
+class IntervalSet
+{
+  public:
+    void
+    insert(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo >= hi)
+            return;
+        auto it = m_.lower_bound(lo);
+        if (it != m_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= lo)
+                it = prev;
+        }
+        while (it != m_.end() && it->first <= hi) {
+            lo = std::min(lo, it->first);
+            hi = std::max(hi, it->second);
+            it = m_.erase(it);
+        }
+        m_[lo] = hi;
+    }
+
+    void
+    erase(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo >= hi)
+            return;
+        auto it = m_.lower_bound(lo);
+        if (it != m_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > lo)
+                it = prev;
+        }
+        while (it != m_.end() && it->first < hi) {
+            const std::uint64_t l = it->first;
+            const std::uint64_t h = it->second;
+            it = m_.erase(it);
+            if (l < lo)
+                m_[l] = lo;
+            if (h > hi) {
+                m_[hi] = h;
+                break;
+            }
+        }
+    }
+
+    bool
+    overlaps(std::uint64_t lo, std::uint64_t hi) const
+    {
+        auto it = m_.lower_bound(lo);
+        if (it != m_.end() && it->first < hi)
+            return true;
+        if (it != m_.begin() && std::prev(it)->second > lo)
+            return true;
+        return false;
+    }
+
+    /** Move every range of @p o into this set (promotion). */
+    void
+    absorb(IntervalSet &o)
+    {
+        for (const auto &[l, h] : o.m_)
+            insert(l, h);
+        o.m_.clear();
+    }
+
+    bool empty() const { return m_.empty(); }
+    void clear() { m_.clear(); }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> m_;
+};
+
+/** One live DMA mapping the executor tracks. */
+struct Mapping
+{
+    unsigned dev;          //!< device index (== domain id here)
+    iommu::Iova iova;
+    mem::Pfn pfn;
+    unsigned order;        //!< buddy order of the backing block
+    std::uint32_t len;
+    dma::Dir dir;
+};
+
+unsigned
+orderFor(unsigned pages)
+{
+    unsigned o = 0;
+    while ((1u << o) < pages)
+        ++o;
+    return o;
+}
+
+// ---- Run digest (FNV-1a 64) ----------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+mixByte(std::uint64_t &h, std::uint8_t b)
+{
+    h ^= b;
+    h *= kFnvPrime;
+}
+
+void
+mixU64(std::uint64_t &h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        mixByte(h, std::uint8_t(v >> (8 * i)));
+}
+
+void
+mixStr(std::uint64_t &h, const std::string &s)
+{
+    for (const char c : s)
+        mixByte(h, std::uint8_t(c));
+    mixByte(h, 0);
+}
+
+} // namespace
+
+std::vector<dma::SchemeKind>
+fuzzSchemes()
+{
+    return {dma::SchemeKind::Strict, dma::SchemeKind::Deferred,
+            dma::SchemeKind::Shadow, dma::SchemeKind::Damn};
+}
+
+std::vector<iommu::BackendKind>
+fuzzBackends()
+{
+    return {iommu::BackendKind::Vtd, iommu::BackendKind::SmmuV3};
+}
+
+bool
+fuzzSchemeFromName(const std::string &name, dma::SchemeKind *out)
+{
+    for (const dma::SchemeKind k :
+         {dma::SchemeKind::IommuOff, dma::SchemeKind::Strict,
+          dma::SchemeKind::Deferred, dma::SchemeKind::Shadow,
+          dma::SchemeKind::Damn}) {
+        if (name == dma::schemeKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+Sequence
+generate(const FuzzConfig &cfg)
+{
+    // Weights indexed in OpKind declaration order.  InjectBug is never
+    // drawn randomly — it only appears in the crafted trigger tail.
+    static const std::vector<unsigned> kWeights = {
+        30, // Map
+        20, // Unmap
+        4,  // BatchUnmap
+        14, // Dma
+        3,  // WildDma
+        6,  // Flush
+        4,  // Sync
+        8,  // Advance
+        2,  // Unplug
+        3,  // Replug
+        1,  // Teardown
+        2,  // Reset
+        2,  // Reclaim
+        2,  // ArmFaults
+        2,  // ClearFaults
+        2,  // DrainEvents
+        1,  // Quarantine
+        0,  // InjectBug
+    };
+    assert(kWeights.size() == kNumOpKinds);
+
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 0xf022);
+    Sequence seq;
+    seq.reserve(cfg.ops + 16);
+    for (unsigned i = 0; i < cfg.ops; ++i) {
+        Op op;
+        op.kind = OpKind(rng.weighted(kWeights));
+        op.a = rng.u32();
+        op.b = rng.u32();
+        op.c = rng.u32();
+        seq.push_back(op);
+    }
+
+    if (cfg.injectStaleBug) {
+        // The crafted stale-TLB trigger: quiesce (no injected faults,
+        // queue drained, device present, quarantine lifted), map a
+        // page, warm its IOTLB entry, arm the test-only invalidation
+        // drop, unmap — and for deferred-style schemes force the
+        // (dropped) flush out.  Whatever the random prefix did, the
+        // no-stale-translation oracle must trip on the tail.
+        seq.push_back({OpKind::ClearFaults, 0, 0, 0});
+        seq.push_back({OpKind::Flush, 0, 0, 0});
+        seq.push_back({OpKind::Replug, 0, 0, 0});
+        seq.push_back({OpKind::Reset, 0, 0, 0});
+        seq.push_back({OpKind::Map, 0, 3, 2}); // dev0, 4 KiB, bidir
+        seq.push_back({OpKind::Dma, 0, 0, 0}); // newest, 1-byte read
+        seq.push_back({OpKind::InjectBug, 0, 0, 0}); // drop next inval
+        seq.push_back({OpKind::Unmap, 0, 0, 0});     // newest
+        seq.push_back({OpKind::Flush, 0, 0, 0});
+    }
+    return seq;
+}
+
+FuzzResult
+runSequence(const FuzzConfig &cfg, const Sequence &seq)
+{
+    net::SystemParams p;
+    p.scheme = cfg.scheme;
+    p.backend = cfg.backend;
+    p.physBytes = 1ull << 28; // 256 MiB: exhaustion is reachable
+    p.sockets = 2;
+    p.coresPerSocket = 2;
+    p.iovaSpaceBytes = 64ull << 20;
+
+    net::System sys(p);
+    sys.ctx.functionalData = false; // timing/translation identical
+    sim::Context &ctx = sys.ctx;
+    sim::Engine &eng = ctx.engine;
+
+    dma::Device dev0(ctx, "fz0", sys.mmu, sys.phys, 0);
+    dma::Device dev1(ctx, "fz1", sys.mmu, sys.phys, 1);
+    dma::Device *devs[2] = {&dev0, &dev1};
+    audit::Auditor auditor(sys.mmu);
+
+    auto *smmu = dynamic_cast<iommu::SmmuV3Backend *>(&sys.mmu.backend());
+    const bool trackStale = net::System::schemeUsesIommu(p) &&
+                            cfg.scheme != dma::SchemeKind::Shadow;
+    const bool strictScheme = cfg.scheme == dma::SchemeKind::Strict;
+    const unsigned ncores = ctx.machine.numCores();
+
+    std::size_t opsDone = 0;
+    eng.armWatchdog(kWatchdogBudget,
+                    [&opsDone] { return std::uint64_t(opsDone); });
+
+    sim::TimeNs t = 0;
+    std::vector<Mapping> live;
+    IntervalSet pending[2]; //!< unmapped, invalidation not yet certain
+    IntervalSet mustNot[2]; //!< unmapped AND certainly invalidated
+
+    FuzzResult res;
+    const auto fail = [&res](std::size_t i, const char *oracle,
+                             std::string detail) {
+        if (res.violated)
+            return;
+        res.violated = true;
+        res.violation = Violation{oracle, std::move(detail), i};
+    };
+
+    // Newest-first resolution of a live-mapping operand: a 0 always
+    // names the most recent mapping, so crafted tails work no matter
+    // how large the prefix left the working set.
+    const auto liveAt = [&live](std::uint32_t a) -> std::size_t {
+        return live.size() - 1 - (a % live.size());
+    };
+
+    const auto pageRange =
+        [](const Mapping &m) -> std::pair<std::uint64_t, std::uint64_t> {
+        const std::uint64_t lo = m.iova & ~std::uint64_t(mem::kPageSize - 1);
+        const std::uint64_t pages =
+            (m.len + mem::kPageSize - 1) >> mem::kPageShift;
+        return {lo, lo + pages * mem::kPageSize};
+    };
+
+    const auto runOracles = [&](std::size_t i) {
+        if (res.violated)
+            return;
+        // 1. No stale translation after a certain invalidation.
+        if (trackStale) {
+            for (unsigned k = 0; k < 2 && !res.violated; ++k) {
+                if (mustNot[k].empty())
+                    continue;
+                const iommu::DomainId d = devs[k]->domain();
+                for (const iommu::TlbEntry &e :
+                     sys.mmu.iotlb().validEntries(d)) {
+                    const std::uint64_t lo = e.iovaPage;
+                    const std::uint64_t hi =
+                        lo + (e.huge ? iommu::kHugePageSize
+                                     : mem::kPageSize);
+                    if (mustNot[k].overlaps(lo, hi)) {
+                        fail(i, "stale-translation",
+                             "domain " + std::to_string(d) +
+                                 " still translates iova " +
+                                 std::to_string(lo) +
+                                 " after its invalidation completed");
+                        break;
+                    }
+                }
+            }
+        }
+        // 2. Audit ledger vs I/O page table.
+        for (unsigned k = 0; k < 2 && !res.violated; ++k) {
+            const iommu::DomainId d = devs[k]->domain();
+            const std::uint64_t ledger = auditor.ledgerPages(d);
+            const std::uint64_t table = sys.mmu.pageTable(d).mappedPages();
+            if (ledger != table)
+                fail(i, "ledger-mismatch",
+                     "domain " + std::to_string(d) + ": ledger " +
+                         std::to_string(ledger) + " vs page table " +
+                         std::to_string(table));
+        }
+        // 3. Fault accounting conservation (facade log).
+        if (!res.violated) {
+            const std::uint64_t f = sys.mmu.faults();
+            const std::uint64_t logged = sys.mmu.faultLog().size();
+            const std::uint64_t lost = sys.mmu.faultLogOverflows();
+            if (f != logged + lost)
+                fail(i, "fault-conservation",
+                     std::to_string(f) + " faults vs " +
+                         std::to_string(logged) + " logged + " +
+                         std::to_string(lost) + " overflowed");
+        }
+        // 4. SMMUv3 event-queue conservation (hardware-side ring).
+        if (!res.violated && smmu) {
+            const std::uint64_t f = sys.mmu.faults();
+            const std::uint64_t inq = smmu->eventQueue().size();
+            const std::uint64_t drained = smmu->eventQueueDrained();
+            const std::uint64_t lost = smmu->eventQueueOverflows();
+            if (f != inq + drained + lost)
+                fail(i, "evtq-conservation",
+                     std::to_string(f) + " faults vs " +
+                         std::to_string(inq) + " queued + " +
+                         std::to_string(drained) + " drained + " +
+                         std::to_string(lost) + " overflowed");
+        }
+        // 5. Engine liveness.
+        if (!res.violated && eng.stallsDetected() > 0)
+            fail(i, "liveness",
+                 "engine watchdog tripped: " +
+                     std::to_string(eng.stallsDetected()) + " stalls");
+    };
+
+    for (std::size_t i = 0; i < seq.size() && !res.violated; ++i) {
+        const Op &op = seq[i];
+        sim::CpuCursor cpu(ctx.machine.core(op.c % ncores), t);
+
+        const std::uint64_t droppedBefore =
+            ctx.stats.get("iommu.inval_dropped");
+        const std::uint64_t flushedBefore =
+            ctx.stats.get("dma.deferred_flushes");
+        bool promoteAll = false;   //!< global sync completed this op
+        bool skipTracking = false; //!< op manages the sets itself
+        // Ranges unmapped this op, awaiting classification.
+        std::vector<std::pair<unsigned, std::pair<std::uint64_t,
+                                                  std::uint64_t>>>
+            unmappedNow;
+
+        const auto doUnmap = [&](const Mapping &m) {
+            sys.dmaApi->unmap(cpu, *devs[m.dev], m.iova, m.len, m.dir);
+            sys.pageAlloc.freePages(m.pfn, m.order);
+            if (trackStale)
+                unmappedNow.push_back({m.dev, pageRange(m)});
+        };
+
+        OpKind kind = op.kind;
+        if (kind == OpKind::Map && live.size() >= kMaxLive)
+            kind = OpKind::Unmap; // keep the working set bounded
+
+        switch (kind) {
+          case OpKind::Map: {
+            const unsigned devIdx = op.a % 2;
+            const std::uint32_t len = kLens[op.b % 6];
+            const auto dir = static_cast<dma::Dir>(op.c % 3);
+            const unsigned pages =
+                (len + mem::kPageSize - 1) >> mem::kPageShift;
+            const unsigned order = orderFor(pages);
+            const mem::Pfn pfn =
+                sys.pageAlloc.allocPages(order, op.c % p.sockets);
+            if (pfn == mem::kInvalidPfn) {
+                ctx.stats.add("fuzz.map_oom");
+                break;
+            }
+            const mem::Pa pa = mem::pfnToPa(pfn);
+            const iommu::Iova iova =
+                sys.dmaApi->map(cpu, *devs[devIdx], pa, len, dir);
+            if (iova == dma::kMapFailed) {
+                sys.pageAlloc.freePages(pfn, order);
+                ctx.stats.add("fuzz.map_failed");
+                break;
+            }
+            for (const Mapping &m : live) {
+                if (iova < m.iova + m.len && m.iova < iova + len) {
+                    fail(i, "iova-overlap",
+                         "map at " + std::to_string(iova) + "+" +
+                             std::to_string(len) +
+                             " overlaps live mapping at " +
+                             std::to_string(m.iova) + "+" +
+                             std::to_string(m.len));
+                    break;
+                }
+            }
+            if (trackStale) {
+                // A recycled IOVA is live again: whatever history the
+                // range had, it may translate now.
+                const std::uint64_t lo =
+                    iova & ~std::uint64_t(mem::kPageSize - 1);
+                const std::uint64_t hi =
+                    lo + std::uint64_t(pages) * mem::kPageSize;
+                pending[devIdx].erase(lo, hi);
+                mustNot[devIdx].erase(lo, hi);
+            }
+            live.push_back({devIdx, iova, pfn, order, len, dir});
+          } break;
+
+          case OpKind::Unmap: {
+            if (live.empty()) {
+                ctx.stats.add("fuzz.noop");
+                break;
+            }
+            const std::size_t idx = liveAt(op.a);
+            const Mapping m = live[idx];
+            live.erase(live.begin() + std::ptrdiff_t(idx));
+            doUnmap(m);
+          } break;
+
+          case OpKind::BatchUnmap: {
+            if (live.empty()) {
+                ctx.stats.add("fuzz.noop");
+                break;
+            }
+            const unsigned want = 1 + op.b % 4;
+            const unsigned devIdx = live[liveAt(op.a)].dev;
+            std::vector<std::size_t> idxs;
+            for (std::size_t k = 0;
+                 k < live.size() && idxs.size() < want; ++k) {
+                const std::size_t idx =
+                    live.size() - 1 -
+                    ((op.a % live.size()) + k) % live.size();
+                if (live[idx].dev == devIdx)
+                    idxs.push_back(idx);
+            }
+            std::vector<Mapping> picked;
+            for (const std::size_t idx : idxs)
+                picked.push_back(live[idx]);
+            std::sort(idxs.begin(), idxs.end(),
+                      std::greater<std::size_t>());
+            for (const std::size_t idx : idxs)
+                live.erase(live.begin() + std::ptrdiff_t(idx));
+            std::vector<dma::DmaApi::UnmapReq> reqs;
+            for (const Mapping &m : picked)
+                reqs.push_back({m.iova, m.len, m.dir});
+            sys.dmaApi->unmapBatch(cpu, *devs[devIdx], reqs);
+            for (const Mapping &m : picked) {
+                sys.pageAlloc.freePages(m.pfn, m.order);
+                if (trackStale)
+                    unmappedNow.push_back({m.dev, pageRange(m)});
+            }
+          } break;
+
+          case OpKind::Dma: {
+            if (live.empty()) {
+                ctx.stats.add("fuzz.noop");
+                break;
+            }
+            const Mapping &m = live[liveAt(op.a)];
+            const std::uint32_t off = op.b % m.len;
+            const std::uint64_t len = 1 + op.c % (m.len - off);
+            // Access direction honors the mapping's permission so the
+            // touch warms the IOTLB instead of perm-faulting.
+            const bool isw = m.dir == dma::Dir::ToDevice ? false
+                             : m.dir == dma::Dir::FromDevice
+                                 ? true
+                                 : (op.c & 1) != 0;
+            const dma::DmaOutcome o =
+                devs[m.dev]->dmaTouch(t, m.iova + off, len, isw);
+            if (o.completes > t)
+                t = o.completes;
+          } break;
+
+          case OpKind::WildDma: {
+            const unsigned devIdx = op.a % 2;
+            const iommu::Iova iova =
+                (iommu::Iova(op.b) << 12) | (op.c & 0xfff);
+            const dma::DmaOutcome o = devs[devIdx]->dmaTouch(
+                t, iova, 1 + (op.c % 4096), (op.b & 1) != 0);
+            if (o.completes > t)
+                t = o.completes;
+          } break;
+
+          case OpKind::Flush:
+            sys.dmaApi->flushPending(cpu);
+            break;
+
+          case OpKind::Sync: {
+            const sim::TimeNs done =
+                sys.mmu.backend().batchedFlushAll(*cpu.core, cpu.time);
+            cpu.waitUntil(done);
+            promoteAll = true; // gated on zero dropped invalidations
+          } break;
+
+          case OpKind::Advance: {
+            const sim::TimeNs dur =
+                sim::TimeNs(1 + op.a % 2000) * 1000; // 1 us .. 2 ms
+            eng.run(t + dur);
+            t += dur;
+          } break;
+
+          case OpKind::Unplug:
+            devs[op.a % 2]->unplug();
+            break;
+
+          case OpKind::Replug:
+            devs[op.a % 2]->replug();
+            break;
+
+          case OpKind::Teardown: {
+            skipTracking = true;
+            while (!live.empty()) {
+                const Mapping m = live.back();
+                live.pop_back();
+                sys.dmaApi->unmap(cpu, *devs[m.dev], m.iova, m.len,
+                                  m.dir);
+                sys.pageAlloc.freePages(m.pfn, m.order);
+            }
+            sys.dmaApi->flushPending(cpu);
+            for (unsigned k = 0; k < 2; ++k)
+                sys.dmaApi->drainDomain(cpu, *devs[k]);
+            for (unsigned k = 0; k < 2 && !res.violated; ++k) {
+                const iommu::DomainId d = devs[k]->domain();
+                const std::uint64_t forced = sys.mmu.detachDomain(d);
+                std::uint64_t outstanding =
+                    sys.dmaApi->outstandingIovas();
+                if (sys.damnMode())
+                    outstanding += sys.damn->outstandingIovaSlots(d);
+                const audit::TeardownReport rep =
+                    auditor.verifyTeardown(d, outstanding, forced);
+                if (!rep.clean()) {
+                    std::string detail =
+                        "domain " + std::to_string(d) + ":";
+                    for (const std::string &v : rep.violations)
+                        detail += " [" + v + "]";
+                    fail(i, "audit-teardown", detail);
+                }
+            }
+            for (unsigned k = 0; k < 2; ++k) {
+                sys.mmu.attachDomain(devs[k]->domain());
+                devs[k]->replug();
+            }
+            for (unsigned k = 0; k < 2; ++k) {
+                pending[k].clear();
+                mustNot[k].clear();
+            }
+          } break;
+
+          case OpKind::Reset: {
+            const unsigned k = op.a % 2;
+            sys.mmu.resetDomain(devs[k]->domain());
+            // resetDomain's IOTLB flush is a direct hardware call, not
+            // a droppable queued command: promotion is unconditional.
+            if (trackStale)
+                mustNot[k].absorb(pending[k]);
+          } break;
+
+          case OpKind::Reclaim:
+            ctx.pressure.reclaim(cpu);
+            break;
+
+          case OpKind::ArmFaults:
+            ctx.faults.enable(cfg.seed * 1000003 + op.a);
+            ctx.faults.setProbability(sim::FaultSite::IommuInval,
+                                      double(op.b % 64) / 256.0);
+            ctx.faults.setProbability(sim::FaultSite::DmaTranslate,
+                                      double(op.c % 64) / 512.0);
+            ctx.faults.setProbability(sim::FaultSite::PageAlloc,
+                                      double((op.b >> 8) % 16) / 256.0);
+            break;
+
+          case OpKind::ClearFaults:
+            ctx.faults.reset();
+            break;
+
+          case OpKind::DrainEvents:
+            if (smmu)
+                smmu->drainEventQueue();
+            break;
+
+          case OpKind::Quarantine:
+            sys.mmu.setQuarantineThreshold(1 + op.a % 50);
+            break;
+
+          case OpKind::InjectBug:
+            sys.mmu.iotlb().debugDropInvalidations(1 + op.a % 4);
+            break;
+        }
+
+        if (cpu.time > t)
+            t = cpu.time;
+
+        // ---- Stale-translation bookkeeping --------------------------
+        // Promote pending ranges to must-not-translate only when an
+        // invalidation covering them observably completed this op with
+        // zero drops; any drop poisons certainty for everything still
+        // pending (conservative, hence sound).
+        if (trackStale && !skipTracking) {
+            const std::uint64_t dropped =
+                ctx.stats.get("iommu.inval_dropped") - droppedBefore;
+            const std::uint64_t flushed =
+                ctx.stats.get("dma.deferred_flushes") - flushedBefore;
+            if (dropped == 0) {
+                if (strictScheme)
+                    for (const auto &[k, r] : unmappedNow)
+                        mustNot[k].insert(r.first, r.second);
+                if (flushed > 0 || promoteAll)
+                    for (unsigned k = 0; k < 2; ++k)
+                        mustNot[k].absorb(pending[k]);
+            } else {
+                for (unsigned k = 0; k < 2; ++k)
+                    pending[k].clear();
+            }
+            if (!strictScheme)
+                for (const auto &[k, r] : unmappedNow)
+                    pending[k].insert(r.first, r.second);
+        }
+
+        ++opsDone;
+        res.opsExecuted = opsDone;
+        runOracles(i);
+    }
+
+    eng.disarmWatchdog();
+
+    res.faults = sys.mmu.faults();
+    res.watchdogStalls = eng.stallsDetected();
+    res.stats = ctx.stats.snapshot();
+
+    std::uint64_t h = kFnvOffset;
+    mixStr(h, "damn-fuzz-v1");
+    mixStr(h, dma::schemeKindName(cfg.scheme));
+    mixStr(h, iommu::backendKindName(cfg.backend));
+    mixU64(h, cfg.seed);
+    mixU64(h, res.opsExecuted);
+    mixU64(h, res.violated ? 1 : 0);
+    mixStr(h, res.violation.oracle);
+    mixStr(h, res.violation.detail);
+    mixU64(h, res.violation.opIndex);
+    mixU64(h, res.faults);
+    mixU64(h, res.watchdogStalls);
+    mixU64(h, std::uint64_t(eng.now()));
+    for (const auto &[name, value] : res.stats) {
+        mixStr(h, name);
+        mixU64(h, value);
+    }
+    res.digest = h;
+    return res;
+}
+
+} // namespace damn::fuzz

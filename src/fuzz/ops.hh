@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The fuzzer's operation alphabet.
+ *
+ * A fuzz sequence is a flat vector of (kind, a, b, c) tuples.  The
+ * operands are *unresolved*: the executor interprets them modulo the
+ * live state at execution time (e.g. "unmap the (a mod live)th live
+ * mapping"), so every subsequence of a valid sequence is itself valid.
+ * That property is what makes delta-debugging shrinks sound — removing
+ * ops can change which objects later ops land on, but never produces
+ * an ill-formed program.
+ */
+
+#ifndef DAMN_FUZZ_OPS_HH
+#define DAMN_FUZZ_OPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace damn::fuzz {
+
+/** One step of a chaos sequence. */
+enum class OpKind : std::uint8_t
+{
+    Map,         //!< allocate pages + dma_map (device a%D, size a, dir c)
+    Unmap,       //!< dma_unmap the (a mod live)th live mapping
+    BatchUnmap,  //!< dma_unmap_sg of 1+b%4 live mappings from index a
+    Dma,         //!< device touch inside the (a mod live)th mapping
+    WildDma,     //!< device touch of an arbitrary (likely unmapped) IOVA
+    Flush,       //!< DmaApi::flushPending (force batched invalidations)
+    Sync,        //!< backend batchedFlushAll (global TLBI + sync)
+    Advance,     //!< run the engine 1+a%2000 microseconds forward
+    Unplug,      //!< surprise hot-unplug of device a%D (bus-level only)
+    Replug,      //!< re-seat device a%D on the bus
+    Teardown,    //!< whole-machine drain + detach + audit + re-attach
+    Reset,       //!< Iommu::resetDomain (FLR) of domain a%D
+    Reclaim,     //!< PressureController::reclaim (forced reclaim ladder)
+    ArmFaults,   //!< enable the fault injector (seed+a, sites from b,c)
+    ClearFaults, //!< FaultInjector::reset (disarm)
+    DrainEvents, //!< SMMUv3: driver consumes the event queue
+    Quarantine,  //!< set the per-domain quarantine threshold to 1+a%50
+    InjectBug,   //!< test-only: IOTLB drops the next 1+a%4 invalidations
+};
+
+constexpr unsigned kNumOpKinds = 18;
+
+struct Op
+{
+    OpKind kind = OpKind::Map;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+
+    bool
+    operator==(const Op &o) const
+    {
+        return kind == o.kind && a == o.a && b == o.b && c == o.c;
+    }
+};
+
+using Sequence = std::vector<Op>;
+
+inline const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Map:
+        return "map";
+      case OpKind::Unmap:
+        return "unmap";
+      case OpKind::BatchUnmap:
+        return "batch_unmap";
+      case OpKind::Dma:
+        return "dma";
+      case OpKind::WildDma:
+        return "wild_dma";
+      case OpKind::Flush:
+        return "flush";
+      case OpKind::Sync:
+        return "sync";
+      case OpKind::Advance:
+        return "advance";
+      case OpKind::Unplug:
+        return "unplug";
+      case OpKind::Replug:
+        return "replug";
+      case OpKind::Teardown:
+        return "teardown";
+      case OpKind::Reset:
+        return "reset";
+      case OpKind::Reclaim:
+        return "reclaim";
+      case OpKind::ArmFaults:
+        return "arm_faults";
+      case OpKind::ClearFaults:
+        return "clear_faults";
+      case OpKind::DrainEvents:
+        return "drain_events";
+      case OpKind::Quarantine:
+        return "quarantine";
+      case OpKind::InjectBug:
+        return "inject_bug";
+    }
+    return "?";
+}
+
+inline bool
+opKindFromName(const std::string &name, OpKind *out)
+{
+    for (unsigned i = 0; i < kNumOpKinds; ++i) {
+        const OpKind k = OpKind(i);
+        if (name == opKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace damn::fuzz
+
+#endif // DAMN_FUZZ_OPS_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared fuzzing RNG: sim::Rng (deterministic xorshift64*) plus the
+ * generator helpers every fuzz harness in tree kept reinventing —
+ * weighted choice, container pick, and adversarial byte soup.
+ *
+ * The split from sim::Rng is deliberate: simulation code draws only
+ * the primitives (next/below/chance) so its stream layout is frozen,
+ * while fuzzers want richer draws whose evolution must never perturb
+ * simulated output.  Everything here is a pure composition of
+ * sim::Rng::next(), so a fuzz::Rng seeded with S produces the same
+ * sequence on every platform and every standard library.
+ */
+
+#ifndef DAMN_FUZZ_RNG_HH
+#define DAMN_FUZZ_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace damn::fuzz {
+
+/** Deterministic fuzzing RNG; see sim::Rng for the core generator. */
+class Rng : public sim::Rng
+{
+  public:
+    using sim::Rng::Rng;
+
+    /** Well-mixed 32-bit draw (the high half of one next()). */
+    std::uint32_t u32() { return std::uint32_t(next() >> 32); }
+
+    /** Uniform pick from a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        assert(!v.empty());
+        return v[below(v.size())];
+    }
+
+    /**
+     * Weighted choice: returns an index into @p weights with
+     * probability proportional to its weight.  Zero-weight entries are
+     * never chosen; the total must be nonzero.
+     */
+    std::size_t
+    weighted(const std::vector<unsigned> &weights)
+    {
+        std::uint64_t total = 0;
+        for (const unsigned w : weights)
+            total += w;
+        assert(total != 0);
+        std::uint64_t roll = below(total);
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            if (roll < weights[i])
+                return i;
+            roll -= weights[i];
+        }
+        return weights.size() - 1; // unreachable with nonzero total
+    }
+
+    /** Random byte soup over the full 0..255 range, length < @p max_len
+     *  (adversarial string inputs for parsers/escapers). */
+    std::string
+    bytes(std::size_t max_len)
+    {
+        std::string s;
+        const std::uint64_t len = below(max_len);
+        s.reserve(std::size_t(len));
+        for (std::uint64_t i = 0; i < len; ++i)
+            s += char(std::uint8_t(below(256)));
+        return s;
+    }
+
+    /** Like bytes() but at least one byte long. */
+    std::string
+    bytes1(std::size_t max_len)
+    {
+        std::string s;
+        const std::uint64_t len = between(1, max_len);
+        s.reserve(std::size_t(len));
+        for (std::uint64_t i = 0; i < len; ++i)
+            s += char(std::uint8_t(below(256)));
+        return s;
+    }
+};
+
+} // namespace damn::fuzz
+
+#endif // DAMN_FUZZ_RNG_HH

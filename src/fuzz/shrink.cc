@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ddmin implementation (Zeller & Hildebrandt's minimizing delta
+ * debugging, complement-only variant) over fuzz op sequences.
+ */
+
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+
+namespace damn::fuzz {
+
+namespace {
+
+/** Does @p cand still trip the expected oracle? */
+bool
+reproduces(const FuzzConfig &cfg, const Sequence &cand,
+           const Violation &expected, FuzzResult *out)
+{
+    *out = runSequence(cfg, cand);
+    return out->violated && out->violation.oracle == expected.oracle;
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const FuzzConfig &cfg, const Sequence &seq,
+       const Violation &expected, std::size_t maxAttempts)
+{
+    ShrinkResult best;
+    best.seq = seq;
+    best.result = runSequence(cfg, seq);
+    best.attempts = 1;
+    if (!best.result.violated ||
+        best.result.violation.oracle != expected.oracle)
+        return best; // caller's premise is wrong; nothing to shrink
+
+    // Anything after the violating op is dead weight: drop it first.
+    if (best.result.violation.opIndex + 1 < best.seq.size())
+        best.seq.resize(best.result.violation.opIndex + 1);
+
+    std::size_t n = 2; // chunk granularity
+    while (best.seq.size() >= 2 && best.attempts < maxAttempts) {
+        n = std::min(n, best.seq.size());
+        const std::size_t chunk =
+            std::max<std::size_t>(1, best.seq.size() / n);
+        bool reduced = false;
+
+        // Try removing each chunk (testing the complement).
+        for (std::size_t start = 0;
+             start < best.seq.size() && best.attempts < maxAttempts;
+             /* advance below */) {
+            const std::size_t end =
+                std::min(start + chunk, best.seq.size());
+            Sequence cand;
+            cand.reserve(best.seq.size() - (end - start));
+            cand.insert(cand.end(), best.seq.begin(),
+                        best.seq.begin() + std::ptrdiff_t(start));
+            cand.insert(cand.end(),
+                        best.seq.begin() + std::ptrdiff_t(end),
+                        best.seq.end());
+            FuzzResult r;
+            ++best.attempts;
+            if (reproduces(cfg, cand, expected, &r)) {
+                best.seq = std::move(cand);
+                best.result = std::move(r);
+                if (best.result.violation.opIndex + 1 < best.seq.size())
+                    best.seq.resize(best.result.violation.opIndex + 1);
+                reduced = true;
+                // Same start now names the next chunk of the smaller
+                // sequence; granularity resets relative to it.
+            } else {
+                start = end;
+            }
+        }
+
+        if (reduced) {
+            n = std::max<std::size_t>(2, n - 1);
+        } else if (chunk == 1) {
+            break; // 1-minimal: no single op can be removed
+        } else {
+            n = std::min(best.seq.size(), n * 2);
+        }
+    }
+    return best;
+}
+
+} // namespace damn::fuzz

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing fuzz sequences.
+ *
+ * Classic ddmin over the op list: repeatedly try removing chunks
+ * (halving granularity down to single ops) and keep any subsequence
+ * that still trips the *same* oracle.  Every op's operands resolve
+ * modulo current state (ops.hh), so any subsequence is executable and
+ * the predicate is well-defined — the precondition ddmin needs.
+ *
+ * The result is locally minimal: removing any single remaining op no
+ * longer reproduces the violation.
+ */
+
+#ifndef DAMN_FUZZ_SHRINK_HH
+#define DAMN_FUZZ_SHRINK_HH
+
+#include "fuzz/harness.hh"
+
+namespace damn::fuzz {
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    Sequence seq;          //!< the locally-minimal reproducer
+    FuzzResult result;     //!< its (still-failing) run result
+    std::size_t attempts = 0; //!< candidate executions spent
+};
+
+/**
+ * Minimize @p seq, which must fail under @p cfg with @p expected's
+ * oracle.  Candidates count as reproductions only when the violated
+ * oracle name matches (the failure mode, not just "any failure"), so
+ * shrinking cannot wander onto an unrelated bug.
+ *
+ * @param maxAttempts  budget of candidate executions (each is a full
+ *                     runSequence); the best-so-far is returned when
+ *                     the budget runs out.
+ */
+ShrinkResult shrink(const FuzzConfig &cfg, const Sequence &seq,
+                    const Violation &expected,
+                    std::size_t maxAttempts = 2000);
+
+} // namespace damn::fuzz
+
+#endif // DAMN_FUZZ_SHRINK_HH

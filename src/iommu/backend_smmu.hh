@@ -119,11 +119,19 @@ class SmmuV3Backend : public IommuBackend
      *  EVENTQ overflow flag, as a count). */
     std::uint64_t eventQueueOverflows() const { return evtqOverflows_; }
 
+    /** Records consumed by the driver over the backend's lifetime
+     *  (conservation: faults == in-queue + drained + overflowed). */
+    std::uint64_t eventQueueDrained() const { return evtqDrained_; }
+
     /** Driver-side consumption: empty the ring, clearing the overflow
      *  condition so new records can be delivered again. */
     std::vector<FaultRecord>
     drainEventQueue()
     {
+        if (!eventq_.empty()) {
+            evtqDrained_ += eventq_.size();
+            ctx_.stats.add("smmu.evtq_drained", eventq_.size());
+        }
         std::vector<FaultRecord> out = std::move(eventq_);
         eventq_.clear();
         return out;
@@ -164,6 +172,7 @@ class SmmuV3Backend : public IommuBackend
 
     std::vector<FaultRecord> eventq_;
     std::uint64_t evtqOverflows_ = 0;
+    std::uint64_t evtqDrained_ = 0;
 };
 
 } // namespace damn::iommu

@@ -121,6 +121,10 @@ Iotlb::insert(DomainId domain, Iova iova, const WalkResult &walk)
 void
 Iotlb::invalidateRange(DomainId domain, Iova iova, std::uint64_t len)
 {
+    if (debugDropRemaining_ > 0) {
+        --debugDropRemaining_;
+        return;
+    }
     ++invalidations_;
     const Iova lo = iova;
     const Iova hi = iova + len;
@@ -139,6 +143,10 @@ Iotlb::invalidateRange(DomainId domain, Iova iova, std::uint64_t len)
 void
 Iotlb::invalidateDomain(DomainId domain)
 {
+    if (debugDropRemaining_ > 0) {
+        --debugDropRemaining_;
+        return;
+    }
     ++invalidations_;
     for (auto *bank : {&bank4k_, &bank2m_})
         for (TlbEntry &e : *bank)

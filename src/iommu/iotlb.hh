@@ -100,6 +100,18 @@ class Iotlb
     std::uint64_t misses() const { return misses_; }
     std::uint64_t invalidations() const { return invalidations_; }
 
+    /**
+     * TEST-ONLY oracle self-check hook: silently discard the next
+     * @p n *targeted* invalidations (invalidateRange/invalidateDomain;
+     * never the global invalidateAll).  The drop is invisible — the
+     * invalidation counter does not advance and no stat is booked — so
+     * it plants exactly the stale-translation hole the fuzzer's
+     * no-stale-translation-after-sync oracle must catch.  Production
+     * code never calls this; the fuzz harness arms it via its
+     * inject_bug op.
+     */
+    void debugDropInvalidations(unsigned n) { debugDropRemaining_ = n; }
+
     double
     hitRate() const
     {
@@ -133,6 +145,7 @@ class Iotlb
     std::vector<TlbEntry> bank2m_;
     std::vector<PwcEntry> pwc_;
     std::uint64_t clock_ = 0;
+    unsigned debugDropRemaining_ = 0; //!< test-only; see above
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t invalidations_ = 0;

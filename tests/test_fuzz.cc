@@ -1,7 +1,10 @@
 /**
  * @file
  * Randomized differential tests: the substrates checked against
- * simple reference models over long random operation sequences.
+ * simple reference models over long random operation sequences, plus
+ * the chaos-harness tests (src/fuzz): determinism, the clean matrix
+ * smoke, the injected-bug oracle self-check + shrinking, and the .dfz
+ * corpus round-trip.  All generators draw from the shared fuzz::Rng.
  */
 
 #include <gtest/gtest.h>
@@ -12,10 +15,15 @@
 #include <unordered_map>
 
 #include "exp/json.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/harness.hh"
+#include "fuzz/rng.hh"
+#include "fuzz/shrink.hh"
+#include "iommu/backend_smmu.hh"
+#include "iommu/iommu.hh"
 #include "iommu/iotlb.hh"
 #include "mem/kmalloc.hh"
 #include "sim/context.hh"
-#include "sim/rng.hh"
 
 using namespace damn;
 
@@ -27,7 +35,7 @@ TEST(FuzzPageTable, MatchesReferenceModel)
 {
     iommu::IoPageTable pt;
     std::map<iommu::Iova, std::pair<mem::Pa, std::uint32_t>> ref;
-    sim::Rng rng(101);
+    fuzz::Rng rng(101);
 
     for (int step = 0; step < 20000; ++step) {
         const iommu::Iova iova =
@@ -66,7 +74,7 @@ TEST(FuzzBuddy, NoOverlapNoLeak)
 {
     mem::PhysicalMemory pm(256ull << 20);
     mem::PageAllocator pa(pm, 2);
-    sim::Rng rng(77);
+    fuzz::Rng rng(77);
     const std::uint64_t initial_free = pa.freeFrames();
 
     struct Block
@@ -114,7 +122,7 @@ TEST(FuzzKmalloc, ContentIsolationAcrossObjects)
     mem::PhysicalMemory pm(128ull << 20);
     mem::PageAllocator pa(pm, 1);
     mem::KmallocHeap heap(pa);
-    sim::Rng rng(55);
+    fuzz::Rng rng(55);
 
     // Every live object holds a distinct stamp; writes to one object
     // must never bleed into another.
@@ -162,7 +170,7 @@ TEST(FuzzKmalloc, ContentIsolationAcrossObjects)
 TEST(FuzzTracer, RingWrapMatchesReferenceModel)
 {
     sim::Context ctx(sim::CostModel{}, 1, 4);
-    sim::Rng rng(2024);
+    fuzz::Rng rng(2024);
 
     for (const std::size_t cap : {std::size_t(1), std::size_t(2),
                                   std::size_t(7), std::size_t(64)}) {
@@ -247,12 +255,9 @@ TEST(FuzzJsonEscape, AdversarialStringsRoundTripThroughTheParser)
     }
 
     // Then random byte soup over the full 0..255 range.
-    sim::Rng rng(404);
+    fuzz::Rng rng(404);
     for (int iter = 0; iter < 2000; ++iter) {
-        std::string s;
-        const auto len = rng.below(64);
-        for (std::uint64_t i = 0; i < len; ++i)
-            s += char(std::uint8_t(rng.below(256)));
+        const std::string s = rng.bytes(64);
         const std::string wrapped = "\"" + sim::jsonEscape(s) + "\"";
         const exp::Json v = exp::Json::parse(wrapped);
         ASSERT_EQ(v.str(), s) << "iter " << iter;
@@ -262,15 +267,12 @@ TEST(FuzzJsonEscape, AdversarialStringsRoundTripThroughTheParser)
 TEST(FuzzJsonEscape, AdversarialEventNamesKeepTheTraceParseable)
 {
     sim::Context ctx(sim::CostModel{}, 1, 2);
-    sim::Rng rng(911);
+    fuzz::Rng rng(911);
     ctx.tracer.startRecording(256);
     std::vector<std::string> names;
     for (int i = 0; i < 64; ++i) {
-        std::string name;
-        const auto len = rng.between(1, 24);
-        for (std::uint64_t j = 0; j < len; ++j)
-            name += char(std::uint8_t(rng.below(256)));
-        names.push_back(name);
+        names.push_back(rng.bytes1(24));
+        const std::string &name = names.back();
         // aux = i + 1 so every event serializes an args.aux tag
         // (zero-valued args are omitted from the JSON).
         ctx.tracer.instant(sim::CoreId(i % 2), sim::TraceCat::Other,
@@ -296,7 +298,7 @@ TEST(FuzzJsonEscape, AdversarialEventNamesKeepTheTraceParseable)
 TEST(FuzzIotlb, InvalidationIsComplete)
 {
     iommu::Iotlb tlb(16, 2, 4, 2);
-    sim::Rng rng(31);
+    fuzz::Rng rng(31);
     std::map<iommu::Iova, mem::Pa> truth;
 
     for (int step = 0; step < 20000; ++step) {
@@ -326,4 +328,180 @@ TEST(FuzzIotlb, InvalidationIsComplete)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// SMMUv3 command queue under a randomized producer storm
+// ---------------------------------------------------------------------
+
+TEST(FuzzSmmuCmdq, ProducerStallStormStaysCoherent)
+{
+    // A 4-slot ring under a TLBI storm: the producer must stall (and
+    // the stall must be counted), yet every CMD_SYNC still covers all
+    // prior commands and time never runs backwards.
+    sim::CostModel cm;
+    cm.smmuCmdqDepth = 4;
+    sim::Context ctx(cm, 1, 2);
+    iommu::Iommu mmu(ctx, true, iommu::BackendKind::SmmuV3);
+    auto &smmu = dynamic_cast<iommu::SmmuV3Backend &>(mmu.backend());
+    const iommu::DomainId d = mmu.createDomain();
+
+    fuzz::Rng rng(4242);
+    sim::TimeNs t = 0;
+    for (int step = 0; step < 2000; ++step) {
+        sim::Core &core = ctx.machine.core(sim::CoreId(rng.below(2)));
+        const sim::TimeNs before = t;
+        switch (rng.below(4)) {
+          case 0:
+            t = smmu.submitTlbiRange(core, t, d, rng.below(4096) << 12,
+                                     4096);
+            break;
+          case 1:
+            t = smmu.submitTlbiDomain(core, t, d);
+            break;
+          case 2:
+            t = smmu.submitTlbiAll(core, t);
+            break;
+          default:
+            t = smmu.sync(core, t);
+            EXPECT_EQ(smmu.pendingCommands(), 0u) << "step " << step;
+            break;
+        }
+        ASSERT_GE(t, before) << "time went backwards at step " << step;
+    }
+    t = smmu.sync(ctx.machine.core(0), t);
+    EXPECT_EQ(smmu.pendingCommands(), 0u);
+    EXPECT_GT(ctx.stats.get("smmu.cmdq_stalls"), 0ull)
+        << "a 4-slot ring under a 2000-command storm must stall";
+}
+
+// ---------------------------------------------------------------------
+// The chaos harness itself (src/fuzz)
+// ---------------------------------------------------------------------
+
+TEST(FuzzHarness, SameConfigIsBitIdentical)
+{
+    // The determinism contract everything else leans on: the same
+    // (config, seed) yields the same digest, stats, and op count.
+    for (const auto scheme : {dma::SchemeKind::Strict,
+                              dma::SchemeKind::Damn}) {
+        for (const iommu::BackendKind backend : fuzz::fuzzBackends()) {
+            fuzz::FuzzConfig cfg;
+            cfg.scheme = scheme;
+            cfg.backend = backend;
+            cfg.seed = 99;
+            cfg.ops = 300;
+            const fuzz::FuzzResult r1 = fuzz::run(cfg);
+            const fuzz::FuzzResult r2 = fuzz::run(cfg);
+            EXPECT_EQ(r1.digest, r2.digest)
+                << dma::schemeKindName(scheme) << "/"
+                << iommu::backendKindName(backend);
+            EXPECT_EQ(r1.stats, r2.stats);
+            EXPECT_EQ(r1.opsExecuted, r2.opsExecuted);
+            EXPECT_EQ(r1.violated, r2.violated);
+        }
+    }
+}
+
+TEST(FuzzHarness, CleanMatrixSmoke)
+{
+    // Without the injected bug, every scheme x backend cell must come
+    // out clean: no oracle violation and no watchdog stall.
+    for (const dma::SchemeKind scheme : fuzz::fuzzSchemes()) {
+        for (const iommu::BackendKind backend : fuzz::fuzzBackends()) {
+            fuzz::FuzzConfig cfg;
+            cfg.scheme = scheme;
+            cfg.backend = backend;
+            cfg.seed = 5;
+            cfg.ops = 300;
+            const fuzz::FuzzResult res = fuzz::run(cfg);
+            EXPECT_FALSE(res.violated)
+                << dma::schemeKindName(scheme) << "/"
+                << iommu::backendKindName(backend) << ": "
+                << res.violation.oracle << " — "
+                << res.violation.detail;
+            EXPECT_EQ(res.watchdogStalls, 0u);
+            EXPECT_EQ(res.opsExecuted, cfg.ops);
+        }
+    }
+}
+
+TEST(FuzzHarness, InjectedStaleBugIsCaughtAndShrunk)
+{
+    // The oracle self-check: arm the IOTLB's dropped-invalidation hook
+    // and the stale-translation oracle must fire; ddmin must then cut
+    // the repro down to a handful of ops (the acceptance bound is 12).
+    struct Cell
+    {
+        dma::SchemeKind scheme;
+        iommu::BackendKind backend;
+    };
+    const Cell cells[] = {
+        {dma::SchemeKind::Strict, iommu::BackendKind::Vtd},
+        {dma::SchemeKind::Deferred, iommu::BackendKind::SmmuV3},
+    };
+    for (const Cell &cell : cells) {
+        fuzz::FuzzConfig cfg;
+        cfg.scheme = cell.scheme;
+        cfg.backend = cell.backend;
+        cfg.seed = 7;
+        cfg.ops = 40;
+        cfg.injectStaleBug = true;
+
+        const fuzz::Sequence seq = fuzz::generate(cfg);
+        const fuzz::FuzzResult res = fuzz::runSequence(cfg, seq);
+        ASSERT_TRUE(res.violated)
+            << dma::schemeKindName(cell.scheme) << "/"
+            << iommu::backendKindName(cell.backend);
+        EXPECT_EQ(res.violation.oracle, "stale-translation");
+
+        const fuzz::ShrinkResult small =
+            fuzz::shrink(cfg, seq, res.violation);
+        EXPECT_LE(small.seq.size(), 12u)
+            << "shrunk repro too large for "
+            << dma::schemeKindName(cell.scheme);
+        ASSERT_TRUE(small.result.violated);
+        EXPECT_EQ(small.result.violation.oracle, "stale-translation");
+        // Re-running the minimal repro reproduces it bit-identically.
+        const fuzz::FuzzResult again = fuzz::runSequence(cfg, small.seq);
+        EXPECT_EQ(again.digest, small.result.digest);
+    }
+}
+
+TEST(FuzzCorpus, SerializeParseReplayRoundTrip)
+{
+    // A recorded run must survive text serialization and replay to the
+    // same verdict — the .dfz regression-corpus contract.
+    fuzz::FuzzConfig cfg;
+    cfg.scheme = dma::SchemeKind::Deferred;
+    cfg.backend = iommu::BackendKind::SmmuV3;
+    cfg.seed = 3;
+    cfg.ops = 30;
+    const fuzz::Sequence seq = fuzz::generate(cfg);
+    const fuzz::FuzzResult res = fuzz::runSequence(cfg, seq);
+
+    fuzz::CorpusFile file;
+    file.cfg = cfg;
+    file.seq = seq;
+    file.verdict = fuzz::verdictOf(res);
+
+    const std::string text = fuzz::serializeCorpus(file);
+    fuzz::CorpusFile parsed;
+    std::string err;
+    ASSERT_TRUE(fuzz::parseCorpus(text, &parsed, &err)) << err;
+    EXPECT_EQ(parsed.cfg.scheme, file.cfg.scheme);
+    EXPECT_EQ(parsed.cfg.backend, file.cfg.backend);
+    EXPECT_EQ(parsed.cfg.seed, file.cfg.seed);
+    EXPECT_EQ(parsed.cfg.injectStaleBug, file.cfg.injectStaleBug);
+    EXPECT_EQ(parsed.seq, file.seq);
+    EXPECT_EQ(parsed.verdict, file.verdict);
+
+    const fuzz::ReplayOutcome replay = fuzz::replayCorpus(parsed);
+    EXPECT_TRUE(replay.reproduced)
+        << "recorded " << file.verdict << ", got " << replay.verdict;
+
+    // Corrupted text must be rejected, not misparsed.
+    EXPECT_FALSE(fuzz::parseCorpus(text + "bogus_key 1\n", &parsed,
+                                   &err));
+    EXPECT_FALSE(fuzz::parseCorpus("dfz 2\n", &parsed, &err));
 }
