@@ -1,0 +1,51 @@
+# ATS-smoke: the rdma_pagefault experiment end to end through the real
+# binary.
+#
+#  1. Determinism: the same seed writes byte-identical JSON for
+#     --jobs=1 and --jobs=8 (the PRI path leaks no wall-clock state).
+#  2. Liveness: the sweep actually exercised the page-fault path —
+#     every run reports a nonzero faults_serviced metric and the
+#     devtlb/prq stat block is present.
+#
+# Invoked as:
+#   cmake -DBENCH=<damn_bench> -DOUT=<dir> -P ats_smoke.cmake
+
+foreach(jobs 1 8)
+    execute_process(
+        COMMAND ${BENCH} --only=rdma_pagefault --warmup-ms=1
+                --measure-ms=2 --seed=42 --jobs=${jobs}
+                --json=${OUT}/ats_smoke_j${jobs}.json
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "rdma_pagefault run (--jobs=${jobs}) failed: ${rc}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT}/ats_smoke_j1.json ${OUT}/ats_smoke_j8.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "rdma_pagefault JSON not deterministic (--jobs=1 vs 8)")
+endif()
+
+file(READ ${OUT}/ats_smoke_j1.json report)
+foreach(metric faults_serviced auto_responses prq_max_depth
+        devtlb_hit_rate fault_service_avg_ns)
+    if(NOT report MATCHES "\"${metric}\"")
+        message(FATAL_ERROR
+                "rdma_pagefault JSON is missing the ${metric} metric")
+    endif()
+endforeach()
+if(NOT report MATCHES "\"faults_serviced\": {\n *\"value\": [1-9]")
+    message(FATAL_ERROR
+            "rdma_pagefault never serviced a page fault")
+endif()
+# A run that serviced zero faults would print "value": 0 — reject any.
+if(report MATCHES "\"faults_serviced\": {\n *\"value\": 0,")
+    message(FATAL_ERROR
+            "an rdma_pagefault run serviced zero page faults")
+endif()

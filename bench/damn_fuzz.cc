@@ -39,7 +39,8 @@ struct Options
     std::uint64_t seed = 42;
     unsigned jobs = 1;
     bool shrink = false;
-    bool inject = false;
+    bool injectStale = false;
+    bool injectDevTlb = false;
     std::vector<dma::SchemeKind> schemes = fuzz::fuzzSchemes();
     std::vector<iommu::BackendKind> backends = fuzz::fuzzBackends();
     std::string saveDir;
@@ -54,7 +55,8 @@ usage(const char *argv0)
         "usage: %s [--ops=N] [--seed=S] [--jobs=N]\n"
         "          [--scheme=strict|deferred|shadow|damn|all]\n"
         "          [--backend=vtd|smmuv3|all]\n"
-        "          [--inject=stale-tlb] [--shrink] [--save=DIR]\n"
+        "          [--inject=stale-tlb|stale-devtlb] [--shrink]\n"
+        "          [--save=DIR]\n"
         "          [--replay FILE.dfz ...]\n",
         argv0);
 }
@@ -125,9 +127,12 @@ parseArgs(int argc, char **argv, Options *opt)
                 opt->backends = {b};
             }
         } else if (const char *v6 = val("--inject=")) {
-            if (std::string(v6) != "stale-tlb")
+            if (std::string(v6) == "stale-tlb")
+                opt->injectStale = true;
+            else if (std::string(v6) == "stale-devtlb")
+                opt->injectDevTlb = true;
+            else
                 return false;
-            opt->inject = true;
         } else if (const char *v7 = val("--save=")) {
             opt->saveDir = v7;
         } else if (arg == "--shrink") {
@@ -187,7 +192,8 @@ runCell(const Options &opt, dma::SchemeKind scheme,
     cfg.backend = backend;
     cfg.seed = opt.seed;
     cfg.ops = opt.ops;
-    cfg.injectStaleBug = opt.inject;
+    cfg.injectStaleBug = opt.injectStale;
+    cfg.injectDevTlbBug = opt.injectDevTlb;
 
     const fuzz::Sequence seq = fuzz::generate(cfg);
     fuzz::FuzzResult res = fuzz::runSequence(cfg, seq);
@@ -244,7 +250,10 @@ runCell(const Options &opt, dma::SchemeKind scheme,
             std::string(dma::schemeKindName(scheme)) + "-" +
             iommu::backendKindName(backend) + "-seed" +
             std::to_string(cfg.seed) +
-            (cfg.injectStaleBug ? "-stale" : "") + ".dfz";
+            (cfg.injectDevTlbBug
+                 ? "-stale-devtlb"
+                 : cfg.injectStaleBug ? "-stale" : "") +
+            ".dfz";
         std::string err;
         if (fuzz::saveCorpus(path, file, &err))
             rep.text += "  saved " + path + "\n";

@@ -6,7 +6,10 @@
 #  2. Oracle self-check: `--inject=stale-tlb` plants a silently dropped
 #     IOTLB invalidation; the no-stale-translation oracle must catch it
 #     and the shrinker must minimize the repro to <= 12 ops.
-#  3. Regression corpus: every committed tests/corpus/*.dfz replays to
+#  3. Oracle self-check (ATS): `--inject=stale-devtlb` silently drops
+#     device-TLB (ATC) invalidations; the stale-device-tlb oracle must
+#     catch what the IOTLB oracle cannot see, shrunk to <= 12 ops.
+#  4. Regression corpus: every committed tests/corpus/*.dfz replays to
 #     its recorded verdict.
 #
 # Invoked as:
@@ -84,7 +87,50 @@ foreach(cell "strict.vtd" "deferred.smmuv3")
     endif()
 endforeach()
 
-# ---- 3. committed regression corpus ---------------------------------
+# ---- 3. injected stale device-TLB bug: caught and shrunk ------------
+
+foreach(cell "strict.vtd" "deferred.smmuv3")
+    string(REPLACE "." ";" parts ${cell})
+    list(GET parts 0 scheme)
+    list(GET parts 1 backend)
+    execute_process(
+        COMMAND ${FUZZ} --ops=40 --seed=7 --scheme=${scheme}
+                --backend=${backend} --inject=stale-devtlb --shrink
+                --save=${OUT}
+        RESULT_VARIABLE rc
+        OUTPUT_FILE ${OUT}/fuzz_devtlb_${scheme}_${backend}.out)
+    if(NOT rc EQUAL 3)
+        message(FATAL_ERROR
+                "injected stale device-TLB bug not caught in ${cell} "
+                "(exit ${rc}, want 3)")
+    endif()
+    file(READ ${OUT}/fuzz_devtlb_${scheme}_${backend}.out inject_out)
+    if(NOT inject_out MATCHES "oracle=stale-device-tlb")
+        message(FATAL_ERROR
+                "${cell}: violation not attributed to the "
+                "stale-device-tlb oracle:\n${inject_out}")
+    endif()
+    set(repro ${OUT}/${scheme}-${backend}-seed7-stale-devtlb.dfz)
+    file(READ ${repro} dfz)
+    if(NOT dfz MATCHES "ops ([0-9]+)")
+        message(FATAL_ERROR "${repro}: no ops header")
+    endif()
+    if(CMAKE_MATCH_1 GREATER 12)
+        message(FATAL_ERROR
+                "${cell}: shrunk devtlb repro has ${CMAKE_MATCH_1} ops "
+                "(acceptance bound is 12)")
+    endif()
+    execute_process(
+        COMMAND ${FUZZ} --replay=${repro}
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${cell}: shrunk devtlb repro failed to replay")
+    endif()
+endforeach()
+
+# ---- 4. committed regression corpus ---------------------------------
 
 file(GLOB corpus_files ${CORPUS}/*.dfz)
 if(NOT corpus_files)

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "iommu/ats.hh"
+
 namespace damn::dma {
 
 DmaOutcome
@@ -70,6 +72,68 @@ Device::dmaAccess(sim::TimeNs now, iommu::Iova addr, void *buf,
     out.walkNs = latency;
     out.completes = std::max(now + latency, bw_done);
     out.ok = !out.fault;
+    return out;
+}
+
+AtsDmaOutcome
+Device::dmaAts(iommu::AtsAgent &ats, sim::TimeNs now, iommu::Iova addr,
+               void *buf, std::uint64_t len, bool is_write)
+{
+    AtsDmaOutcome out;
+
+    if (attached_ &&
+        ctx_.faults.shouldFail(sim::FaultSite::DeviceUnplug)) {
+        unplug();
+        ctx_.stats.add("dma.surprise_unplugs");
+    }
+    if (!attached_) {
+        // Master-abort, as in dmaAccess: no bytes, no translation —
+        // and no page request either (there is no device left to
+        // retry).
+        out.completes = now;
+        ++faultedDmas_;
+        ctx_.stats.add("dma.unplugged_aborts");
+        return out;
+    }
+
+    auto *cursor = static_cast<std::uint8_t *>(buf);
+    sim::TimeNs latency = 0;
+    std::uint64_t remaining = len;
+    iommu::Iova iova = addr;
+
+    while (remaining > 0) {
+        const std::uint64_t page_room =
+            mem::kPageSize - (iova & (mem::kPageSize - 1));
+        const std::uint64_t chunk = std::min(remaining, page_room);
+
+        const iommu::AtsAgent::Result tr = ats.translate(iova, is_write);
+        latency += tr.latencyNs;
+        if (!tr.ok) {
+            // Untranslatable: stall here and let the caller post a
+            // page request for this page, then retry.
+            out.needsFault = true;
+            out.faultVa = iova & ~iommu::Iova(mem::kPageSize - 1);
+            break;
+        }
+        if (cursor != nullptr) {
+            if (is_write)
+                pm_.write(tr.pa, cursor, chunk);
+            else
+                pm_.read(tr.pa, cursor, chunk);
+            cursor += chunk;
+        }
+
+        out.bytesDone += chunk;
+        iova += chunk;
+        remaining -= chunk;
+    }
+
+    const auto mem_bytes = std::uint64_t(
+        double(out.bytesDone) * ctx_.cost.dmaMemTrafficFactor);
+    const sim::TimeNs bw_done = ctx_.memBw.transfer(now, mem_bytes);
+    out.walkNs = latency;
+    out.completes = std::max(now + latency, bw_done);
+    out.ok = remaining == 0;
     return out;
 }
 

@@ -30,6 +30,19 @@ struct DmaOutcome
     sim::TimeNs walkNs = 0;     //!< IOTLB-miss page-walk stall time
 };
 
+/** Result of one ATS-translated (page-faultable) DMA attempt. */
+struct AtsDmaOutcome
+{
+    bool ok = false;             //!< every page translated; all bytes moved
+    /** A page failed to translate: recoverable via PRI, not a fault.
+     *  faultVa names the first untranslatable page. */
+    bool needsFault = false;
+    iommu::Iova faultVa = 0;
+    std::uint64_t bytesDone = 0; //!< bytes moved before the stall
+    sim::TimeNs completes = 0;
+    sim::TimeNs walkNs = 0;      //!< translation latency (ATC + walks)
+};
+
 /**
  * A DMA-capable device attached behind the IOMMU.
  */
@@ -74,6 +87,18 @@ class Device
     {
         return dmaAccess(now, addr, nullptr, len, is_write);
     }
+
+    /**
+     * DMA with device-side ATS translation through @p ats instead of
+     * the IOMMU data path: per-page ATC lookups, stopping at the
+     * first page that does not translate (out.needsFault — the PRI
+     * retry signal; see dma/faultable.hh for the full
+     * fault-and-resume loop).  Unplug/master-abort and memory
+     * bandwidth accounting match dmaWrite/dmaRead.
+     */
+    AtsDmaOutcome dmaAts(iommu::AtsAgent &ats, sim::TimeNs now,
+                         iommu::Iova addr, void *buf, std::uint64_t len,
+                         bool is_write);
 
     /** Total faulted DMA attempts by this device. */
     std::uint64_t faultedDmas() const { return faultedDmas_; }

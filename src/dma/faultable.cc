@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fault-and-resume loop implementation.
+ */
+
+#include "dma/faultable.hh"
+
+#include <algorithm>
+
+#include "iommu/iommu.hh"
+
+namespace damn::dma {
+
+FaultableDmaResult
+faultableDma(sim::CpuCursor &cpu, Device &dev, iommu::AtsAgent &ats,
+             iommu::SvaDomain &sva, iommu::Iova va, void *buf,
+             std::uint64_t len, bool is_write, unsigned maxFaults,
+             sim::LatencyHistogram *hist)
+{
+    FaultableDmaResult res;
+    iommu::IommuBackend &be = dev.mmu().backend();
+    sim::Context &ctx = sva.ctx();
+
+    std::uint64_t off = 0;
+    std::uint32_t group = 0;
+    unsigned attempts = 0;
+
+    for (;;) {
+        const AtsDmaOutcome out = dev.dmaAts(
+            ats, cpu.time, va + off,
+            buf != nullptr ? static_cast<std::uint8_t *>(buf) + off
+                           : nullptr,
+            len - off, is_write);
+        res.bytesDone += out.bytesDone;
+        off += out.bytesDone;
+        cpu.waitUntil(out.completes);
+        if (!out.needsFault) {
+            res.ok = out.ok && off == len;
+            break;
+        }
+        if (++attempts > maxFaults)
+            break;
+
+        const iommu::IommuBackend::PageRequest req{
+            sva.domain(), out.faultVa, is_write, group++, cpu.time};
+        const bool accepted = be.postPageRequest(req);
+        if (!accepted) {
+            // Overflow auto-response: the device backs off while the
+            // OS catches up on the queue, then retries the access
+            // (which will fault and post again).
+            ++res.autoResponses;
+            cpu.waitUntil(cpu.time + ctx.cost.priRetryBackoffNs);
+        }
+        // OS side: drain and service everything queued — our request
+        // plus any backlog (each gets its response, so conservation
+        // holds when we return).
+        for (const iommu::IommuBackend::PageRequest &r :
+             be.fetchPageRequests()) {
+            const bool serviced = sva.servicePageRequest(cpu, r, &ats);
+            const sim::TimeNs wait =
+                cpu.time > r.time ? cpu.time - r.time : 0;
+            res.serviceNsTotal += wait;
+            res.serviceNsMax = std::max(res.serviceNsMax, wait);
+            if (hist != nullptr)
+                hist->record(wait);
+            if (serviced)
+                ++res.faultsServiced;
+            else
+                ++res.failedServices;
+        }
+    }
+    res.completes = cpu.time;
+    return res;
+}
+
+} // namespace damn::dma

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The PRI fault-and-resume loop: one faultable DMA end to end.
+ *
+ * Ties the pieces together the way a real stack does — the device
+ * translates through its ATC (dma::Device::dmaAts), stalls on the
+ * first untranslatable page, posts a page request
+ * (IommuBackend::postPageRequest), the OS services the queue
+ * (iommu::SvaDomain::servicePageRequest) and responds, and the device
+ * retries from where it stalled.  Overflow auto-responses back the
+ * device off and force it through a drain-and-retry, so forward
+ * progress survives a flooded queue.
+ */
+
+#ifndef DAMN_DMA_FAULTABLE_HH
+#define DAMN_DMA_FAULTABLE_HH
+
+#include <cstdint>
+
+#include "dma/device.hh"
+#include "iommu/sva.hh"
+#include "sim/cpu_cursor.hh"
+#include "sim/histogram.hh"
+
+namespace damn::dma {
+
+/** What one faultable DMA cost, fault-wise. */
+struct FaultableDmaResult
+{
+    bool ok = false;
+    std::uint64_t bytesDone = 0;
+    sim::TimeNs completes = 0;
+    unsigned faultsServiced = 0;  //!< successful page-request services
+    unsigned failedServices = 0;  //!< services that could not allocate
+    unsigned autoResponses = 0;   //!< queue-overflow auto-responses seen
+    sim::TimeNs serviceNsTotal = 0; //!< post-to-resume, summed
+    sim::TimeNs serviceNsMax = 0;
+};
+
+/**
+ * DMA @p len bytes at @p va into @p sva-backed pageable memory
+ * through @p dev's ATS agent, faulting and resuming as needed.  Every
+ * page request fetched while servicing is responded to (including
+ * ones left queued by other parties), so PRI conservation holds at
+ * return.  @p maxFaults bounds the retry loop.
+ * @param hist  optional histogram collecting per-fault service
+ *              latency (post-to-resume).
+ */
+FaultableDmaResult faultableDma(sim::CpuCursor &cpu, Device &dev,
+                                iommu::AtsAgent &ats,
+                                iommu::SvaDomain &sva, iommu::Iova va,
+                                void *buf, std::uint64_t len,
+                                bool is_write, unsigned maxFaults = 64,
+                                sim::LatencyHistogram *hist = nullptr);
+
+} // namespace damn::dma
+
+#endif // DAMN_DMA_FAULTABLE_HH

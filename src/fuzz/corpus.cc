@@ -58,7 +58,10 @@ serializeCorpus(const CorpusFile &file)
     os << "scheme " << dma::schemeKindName(file.cfg.scheme) << "\n";
     os << "backend " << iommu::backendKindName(file.cfg.backend) << "\n";
     os << "seed " << file.cfg.seed << "\n";
-    os << "inject " << (file.cfg.injectStaleBug ? "stale-tlb" : "none")
+    os << "inject "
+       << (file.cfg.injectDevTlbBug
+               ? "stale-devtlb"
+               : file.cfg.injectStaleBug ? "stale-tlb" : "none")
        << "\n";
     os << "verdict " << file.verdict << "\n";
     os << "ops " << file.seq.size() << "\n";
@@ -130,12 +133,16 @@ parseCorpus(const std::string &text, CorpusFile *out, std::string *err)
             if (!parseU64(val, &file.cfg.seed))
                 return bad("bad seed");
         } else if (key == "inject") {
-            if (val == "none")
+            if (val == "none") {
                 file.cfg.injectStaleBug = false;
-            else if (val == "stale-tlb")
+                file.cfg.injectDevTlbBug = false;
+            } else if (val == "stale-tlb") {
                 file.cfg.injectStaleBug = true;
-            else
+            } else if (val == "stale-devtlb") {
+                file.cfg.injectDevTlbBug = true;
+            } else {
                 return bad("unknown inject mode '" + val + "'");
+            }
         } else if (key == "verdict") {
             if (val.empty())
                 return bad("empty verdict");

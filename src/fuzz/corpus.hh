@@ -10,7 +10,7 @@
  *     scheme strict
  *     backend vtd
  *     seed 42
- *     inject none            # or: stale-tlb
+ *     inject none            # or: stale-tlb / stale-devtlb
  *     verdict clean          # or the violated oracle's name
  *     ops 4
  *     map 0 3 2
@@ -20,7 +20,8 @@
  *
  * `inject stale-tlb` arms the Iotlb::debugDropInvalidations self-check
  * hook exactly as FuzzConfig::injectStaleBug does, so shrunk repros of
- * the planted bug replay faithfully.  Replaying a file re-executes the
+ * the planted bug replay faithfully; `inject stale-devtlb` likewise
+ * maps to FuzzConfig::injectDevTlbBug (the ATS device-TLB variant).  Replaying a file re-executes the
  * sequence and compares the fresh verdict against the recorded one —
  * the regression-corpus contract the `damn_fuzz --replay` flag and the
  * fuzz-smoke ctest enforce.

@@ -12,8 +12,11 @@
 
 #include "core/audit.hh"
 #include "dma/device.hh"
+#include "dma/faultable.hh"
 #include "fuzz/rng.hh"
+#include "iommu/ats.hh"
 #include "iommu/backend_smmu.hh"
+#include "iommu/sva.hh"
 #include "net/system.hh"
 
 namespace damn::fuzz {
@@ -209,6 +212,10 @@ generate(const FuzzConfig &cfg)
         2,  // DrainEvents
         1,  // Quarantine
         0,  // InjectBug
+        8,  // AtsTranslate
+        8,  // TouchPageable
+        3,  // UnmapWhileFaulting
+        2,  // PrqOverflow
     };
     assert(kWeights.size() == kNumOpKinds);
 
@@ -241,6 +248,25 @@ generate(const FuzzConfig &cfg)
         seq.push_back({OpKind::Unmap, 0, 0, 0});     // newest
         seq.push_back({OpKind::Flush, 0, 0, 0});
     }
+
+    if (cfg.injectDevTlbBug) {
+        // The crafted stale-device-TLB trigger: quiesce, map a page,
+        // warm the per-device ATC with an ATS translate, arm the
+        // device-TLB invalidation drop (InjectBug with b odd), unmap,
+        // then Sync — whose atsInvalidateAll the armed hook swallows
+        // silently, so the promotion logic believes the ATC is clean
+        // while the entry is still cached.  The stale-device-tlb
+        // oracle must trip on the tail on either backend.
+        seq.push_back({OpKind::ClearFaults, 0, 0, 0});
+        seq.push_back({OpKind::Flush, 0, 0, 0});
+        seq.push_back({OpKind::Replug, 0, 0, 0});
+        seq.push_back({OpKind::Reset, 0, 0, 0});
+        seq.push_back({OpKind::Map, 0, 3, 2});          // dev0, 4 KiB
+        seq.push_back({OpKind::AtsTranslate, 0, 0, 0}); // warm the ATC
+        seq.push_back({OpKind::InjectBug, 0, 1, 0});    // drop ATS inval
+        seq.push_back({OpKind::Unmap, 0, 0, 0});        // newest
+        seq.push_back({OpKind::Sync, 0, 0, 0});         // "certain" inval
+    }
     return seq;
 }
 
@@ -265,6 +291,19 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
     dma::Device *devs[2] = {&dev0, &dev1};
     audit::Auditor auditor(sys.mmu);
 
+    // ATS/PRI state: one ATC per device over the regular mapping
+    // population, plus one pageable SVA window (its own domain) that
+    // TouchPageable / UnmapWhileFaulting / PrqOverflow fault through.
+    iommu::AtsAgent ats0(ctx, sys.mmu, dev0.domain());
+    iommu::AtsAgent ats1(ctx, sys.mmu, dev1.domain());
+    iommu::AtsAgent *agents[2] = {&ats0, &ats1};
+    iommu::SvaDomain sva(ctx, sys.mmu, sys.pageAlloc,
+                         /*residentLimitPages=*/48);
+    iommu::AtsAgent svaAts(ctx, sys.mmu, sva.domain());
+    constexpr iommu::Iova kSvaBase = 0x7f0000000000ull;
+    constexpr unsigned kSvaPages = 64;
+    std::uint32_t priGroup = 0;
+
     auto *smmu = dynamic_cast<iommu::SmmuV3Backend *>(&sys.mmu.backend());
     const bool trackStale = net::System::schemeUsesIommu(p) &&
                             cfg.scheme != dma::SchemeKind::Shadow;
@@ -279,6 +318,11 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
     std::vector<Mapping> live;
     IntervalSet pending[2]; //!< unmapped, invalidation not yet certain
     IntervalSet mustNot[2]; //!< unmapped AND certainly invalidated
+    // Same two-phase tracking for the per-device ATCs.  IOTLB flushes
+    // never promote these — only a completed atsInvalidateAll does
+    // (the Sync op), because the ATC lives outside the IOMMU.
+    IntervalSet atsPending[2];
+    IntervalSet atsMustNot[2];
 
     FuzzResult res;
     const auto fail = [&res](std::size_t i, const char *oracle,
@@ -329,6 +373,44 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
                     }
                 }
             }
+        }
+        // 1b. No stale device-TLB entry after a certain ATS inval.
+        if (trackStale) {
+            for (unsigned k = 0; k < 2 && !res.violated; ++k) {
+                if (atsMustNot[k].empty())
+                    continue;
+                for (const iommu::Iova page :
+                     agents[k]->validEntries()) {
+                    if (atsMustNot[k].overlaps(page,
+                                               page + mem::kPageSize)) {
+                        fail(i, "stale-device-tlb",
+                             "device " + std::to_string(k) +
+                                 " ATC still holds iova " +
+                                 std::to_string(page) +
+                                 " after its ATS invalidation "
+                                 "completed");
+                        break;
+                    }
+                }
+            }
+        }
+        // 1c. PRI accounting conservation (both backends).
+        if (!res.violated) {
+            iommu::IommuBackend &be = sys.mmu.backend();
+            const std::uint64_t posted = be.pageRequestsPosted();
+            const std::uint64_t fetched = be.pageRequestsFetched();
+            const std::uint64_t responded = be.pageRequestsResponded();
+            const std::uint64_t autoResp =
+                be.pageRequestAutoResponses();
+            const std::uint64_t inq = be.pendingPageRequests();
+            if (posted != autoResp + inq + fetched ||
+                responded > fetched)
+                fail(i, "pri-conservation",
+                     std::to_string(posted) + " posted vs " +
+                         std::to_string(autoResp) + " auto + " +
+                         std::to_string(inq) + " queued + " +
+                         std::to_string(fetched) + " fetched (" +
+                         std::to_string(responded) + " responded)");
         }
         // 2. Audit ledger vs I/O page table.
         for (unsigned k = 0; k < 2 && !res.violated; ++k) {
@@ -440,6 +522,8 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
                     lo + std::uint64_t(pages) * mem::kPageSize;
                 pending[devIdx].erase(lo, hi);
                 mustNot[devIdx].erase(lo, hi);
+                atsPending[devIdx].erase(lo, hi);
+                atsMustNot[devIdx].erase(lo, hi);
             }
             live.push_back({devIdx, iova, pfn, order, len, dir});
           } break;
@@ -527,6 +611,12 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
             const sim::TimeNs done =
                 sys.mmu.backend().batchedFlushAll(*cpu.core, cpu.time);
             cpu.waitUntil(done);
+            // Global sync also shoots down both device ATCs — the ATS
+            // verbs ride the same droppable invalidation interface.
+            for (unsigned k = 0; k < 2; ++k)
+                cpu.waitUntil(sys.mmu.backend().atsInvalidateAll(
+                    *cpu.core, cpu.time, *agents[k],
+                    devs[k]->domain()));
             promoteAll = true; // gated on zero dropped invalidations
           } break;
 
@@ -579,8 +669,11 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
                 devs[k]->replug();
             }
             for (unsigned k = 0; k < 2; ++k) {
+                agents[k]->reset(); // detach implies device FLR
                 pending[k].clear();
                 mustNot[k].clear();
+                atsPending[k].clear();
+                atsMustNot[k].clear();
             }
           } break;
 
@@ -589,8 +682,12 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
             sys.mmu.resetDomain(devs[k]->domain());
             // resetDomain's IOTLB flush is a direct hardware call, not
             // a droppable queued command: promotion is unconditional.
-            if (trackStale)
+            // FLR also clears the device's ATC outright.
+            agents[k]->reset();
+            if (trackStale) {
                 mustNot[k].absorb(pending[k]);
+                atsMustNot[k].absorb(atsPending[k]);
+            }
           } break;
 
           case OpKind::Reclaim:
@@ -621,8 +718,72 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
             break;
 
           case OpKind::InjectBug:
-            sys.mmu.iotlb().debugDropInvalidations(1 + op.a % 4);
+            if ((op.b & 1) != 0) {
+                // Odd b: plant the bug one cache out — the device
+                // TLBs swallow the next ATS invalidations.
+                agents[0]->debugDropInvalidations(1 + op.a % 4);
+                agents[1]->debugDropInvalidations(1 + op.a % 4);
+            } else {
+                sys.mmu.iotlb().debugDropInvalidations(1 + op.a % 4);
+            }
             break;
+
+          case OpKind::AtsTranslate: {
+            if (live.empty()) {
+                ctx.stats.add("fuzz.noop");
+                break;
+            }
+            const Mapping &m = live[liveAt(op.a)];
+            const std::uint32_t off = op.b % m.len;
+            const bool isw = m.dir == dma::Dir::ToDevice ? false
+                             : m.dir == dma::Dir::FromDevice
+                                 ? true
+                                 : (op.c & 1) != 0;
+            const iommu::AtsAgent::Result r =
+                agents[m.dev]->translate(m.iova + off, isw);
+            t += r.latencyNs;
+          } break;
+
+          case OpKind::TouchPageable: {
+            const iommu::Iova va =
+                kSvaBase +
+                iommu::Iova(op.a % kSvaPages) * mem::kPageSize;
+            const std::uint64_t len = 1 + op.b % (4 * mem::kPageSize);
+            dma::faultableDma(cpu, *devs[op.c % 2], svaAts, sva, va,
+                              nullptr, len, (op.b & 1) != 0,
+                              /*maxFaults=*/8);
+          } break;
+
+          case OpKind::UnmapWhileFaulting: {
+            const iommu::Iova va =
+                kSvaBase +
+                iommu::Iova(op.a % kSvaPages) * mem::kPageSize;
+            // Queue the page's fault, then evict the page before the
+            // handler runs — the unmap-while-faulting race.  The
+            // handler must re-fault it cleanly (or auto-respond).
+            sys.mmu.backend().postPageRequest(
+                {sva.domain(), va, (op.b & 1) != 0, priGroup++,
+                 cpu.time});
+            sva.evict(cpu, va, &svaAts);
+            for (const iommu::IommuBackend::PageRequest &r :
+                 sys.mmu.backend().fetchPageRequests())
+                sva.servicePageRequest(cpu, r, &svaAts);
+          } break;
+
+          case OpKind::PrqOverflow: {
+            // Post past the queue bound and leave it full: the tail
+            // posts must auto-respond, and the backlog stays queued
+            // until the next TouchPageable drains it.
+            const unsigned depth = std::max(ctx.cost.vtdPrqDepth,
+                                            ctx.cost.smmuStallDepth);
+            for (unsigned j = 0; j < depth + 4; ++j) {
+                const iommu::Iova va =
+                    kSvaBase + iommu::Iova((op.a + j) % kSvaPages) *
+                                   mem::kPageSize;
+                sys.mmu.backend().postPageRequest(
+                    {sva.domain(), va, true, priGroup++, cpu.time});
+            }
+          } break;
         }
 
         if (cpu.time > t)
@@ -652,6 +813,21 @@ runSequence(const FuzzConfig &cfg, const Sequence &seq)
             if (!strictScheme)
                 for (const auto &[k, r] : unmappedNow)
                     pending[k].insert(r.first, r.second);
+            // Device-TLB tracking: the DMA-API unmap path never
+            // invalidates ATCs, so unmapped ranges always start
+            // pending and only a completed global ATS shootdown (the
+            // Sync op) promotes them; a dropped invalidation poisons
+            // certainty exactly as for the IOTLB sets.
+            if (dropped == 0) {
+                if (promoteAll)
+                    for (unsigned k = 0; k < 2; ++k)
+                        atsMustNot[k].absorb(atsPending[k]);
+            } else {
+                for (unsigned k = 0; k < 2; ++k)
+                    atsPending[k].clear();
+            }
+            for (const auto &[k, r] : unmappedNow)
+                atsPending[k].insert(r.first, r.second);
         }
 
         ++opsDone;

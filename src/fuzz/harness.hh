@@ -7,6 +7,15 @@
  * net::System — one {scheme} x {backend} cell — checking the invariant
  * oracles after every step:
  *
+ *   stale-device-tlb    the same property one cache further out: an
+ *                       ATS device-TLB (ATC) entry whose range was
+ *                       unmapped and whose ATS invalidation is known
+ *                       to have completed must be gone.  IOTLB flushes
+ *                       never count — only completed atsInvalidate /
+ *                       atsInvalidateAll verbs promote.
+ *   pri-conservation    page-request accounting balances on both
+ *                       backends: posted == auto-responses + pending +
+ *                       fetched, and responded <= fetched.
  *   stale-translation   a mapping that was unmapped *and* whose IOTLB
  *                       invalidation is known to have completed must
  *                       never translate again (the Table-1 property).
@@ -60,6 +69,15 @@ struct FuzzConfig
      * exercised — the oracle self-check the acceptance criteria pin.
      */
     bool injectStaleBug = false;
+
+    /**
+     * Append the crafted stale-*device*-TLB trigger tail instead: map,
+     * warm the per-device ATC via an ATS translate, arm
+     * AtsAgent::debugDropInvalidations, unmap, global sync (whose ATS
+     * invalidation the armed hook swallows).  The stale-device-tlb
+     * oracle must trip on the tail on either backend.
+     */
+    bool injectDevTlbBug = false;
 };
 
 /** An oracle violation, pinned to the op that exposed it. */

@@ -40,10 +40,20 @@ enum class OpKind : std::uint8_t
     ClearFaults, //!< FaultInjector::reset (disarm)
     DrainEvents, //!< SMMUv3: driver consumes the event queue
     Quarantine,  //!< set the per-domain quarantine threshold to 1+a%50
-    InjectBug,   //!< test-only: IOTLB drops the next 1+a%4 invalidations
+    InjectBug,   //!< test-only: IOTLB (b even) or device TLBs (b odd)
+                 //!< drop the next 1+a%4 invalidations
+    // ---- ATS / PRI (page-faultable DMA) ------------------------------
+    AtsTranslate,       //!< device-side ATS walk of a live mapping
+                        //!< (warms the per-device ATC)
+    TouchPageable,      //!< faultable DMA into the SVA window: stall,
+                        //!< post page request, service, resume
+    UnmapWhileFaulting, //!< post a page request, then evict its page
+                        //!< before servicing (the unmap/fault race)
+    PrqOverflow,        //!< post past the PRQ/stall-table bound and
+                        //!< leave the queue full (auto-responses)
 };
 
-constexpr unsigned kNumOpKinds = 18;
+constexpr unsigned kNumOpKinds = 22;
 
 struct Op
 {
@@ -101,6 +111,14 @@ opKindName(OpKind k)
         return "quarantine";
       case OpKind::InjectBug:
         return "inject_bug";
+      case OpKind::AtsTranslate:
+        return "ats_translate";
+      case OpKind::TouchPageable:
+        return "touch_pageable";
+      case OpKind::UnmapWhileFaulting:
+        return "unmap_while_faulting";
+      case OpKind::PrqOverflow:
+        return "prq_overflow";
     }
     return "?";
 }

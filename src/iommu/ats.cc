@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ATS device-TLB (ATC) implementation.
+ */
+
+#include "iommu/ats.hh"
+
+#include "iommu/iommu.hh"
+
+namespace damn::iommu {
+
+AtsAgent::AtsAgent(sim::Context &ctx, Iommu &mmu, DomainId domain)
+    : ctx_(ctx), mmu_(mmu), domain_(domain),
+      atc_(ctx.cost.atsDevTlbEntries)
+{}
+
+AtsAgent::Entry *
+AtsAgent::find(Iova page)
+{
+    for (Entry &e : atc_)
+        if (e.valid && e.page == page)
+            return &e;
+    return nullptr;
+}
+
+void
+AtsAgent::insert(Iova page, mem::Pa paPage, std::uint32_t perm)
+{
+    Entry *victim = &atc_[0];
+    for (Entry &e : atc_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = {true, page, paPage, perm, ++clock_};
+}
+
+AtsAgent::Result
+AtsAgent::translate(Iova iova, bool is_write)
+{
+    Result r;
+    const Iova page = iova & ~Iova(mem::kPageSize - 1);
+    const std::uint32_t need = is_write ? PermWrite : PermRead;
+
+    if (Entry *e = find(page); e != nullptr && (e->perm & need) == need) {
+        e->lastUse = ++clock_;
+        ++hits_;
+        ctx_.stats.add("ats.devtlb_hits");
+        r.ok = true;
+        r.hit = true;
+        r.pa = e->paPage + (iova - page);
+        r.latencyNs = ctx_.cost.atsDevTlbHitNs;
+        return r;
+    }
+
+    // ATC miss: a PCIe translation request — one fabric round trip
+    // plus the IOMMU-side walk.  The walk reads the domain's page
+    // table directly; "no sufficient mapping" comes back as a
+    // translation with no access rights (the PRI retry signal), not a
+    // recorded IOMMU fault.
+    ++misses_;
+    ctx_.stats.add("ats.devtlb_misses");
+    r.latencyNs = ctx_.cost.atsTranslateNs +
+                  mmu_.backend().walkLatency(domain_, iova);
+    const WalkResult w = mmu_.pageTable(domain_).walk(iova);
+    if (!w.present || (w.perm & need) != need)
+        return r;
+    const mem::Pa paPage = w.pa & ~mem::Pa(mem::kPageSize - 1);
+    insert(page, paPage, w.perm);
+    r.ok = true;
+    r.pa = w.pa;
+    return r;
+}
+
+void
+AtsAgent::invalidateRange(Iova iova, std::uint64_t len)
+{
+    if (debugDropRemaining_ > 0) {
+        --debugDropRemaining_;
+        return;
+    }
+    ++invalidations_;
+    const Iova lo = iova;
+    const Iova hi = iova + len;
+    for (Entry &e : atc_)
+        if (e.valid && e.page < hi && e.page + mem::kPageSize > lo)
+            e.valid = false;
+}
+
+void
+AtsAgent::invalidateAll()
+{
+    if (debugDropRemaining_ > 0) {
+        --debugDropRemaining_;
+        return;
+    }
+    ++invalidations_;
+    for (Entry &e : atc_)
+        e.valid = false;
+}
+
+void
+AtsAgent::reset()
+{
+    for (Entry &e : atc_)
+        e.valid = false;
+    debugDropRemaining_ = 0;
+}
+
+std::vector<Iova>
+AtsAgent::validEntries() const
+{
+    std::vector<Iova> out;
+    for (const Entry &e : atc_)
+        if (e.valid)
+            out.push_back(e.page);
+    return out;
+}
+
+std::size_t
+AtsAgent::entries() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : atc_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace damn::iommu

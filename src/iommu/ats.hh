@@ -1,0 +1,122 @@
+/**
+ * @file
+ * PCIe Address Translation Services: the device side.
+ *
+ * An AtsAgent models one endpoint's ATS capability — a small device
+ * TLB (ATC) caching translations *outside* the IOMMU, filled by
+ * translation requests over the fabric.  The whole point of modeling
+ * it separately from the IOMMU's IOTLB is that its entries go stale
+ * independently: an unmap + IOTLB flush leaves the ATC untouched
+ * until a device-TLB invalidation (IommuBackend::atsInvalidate*)
+ * completes.  That extra stale window is what the fuzzer's
+ * stale-device-tlb oracle patrols.
+ *
+ * A translation request that resolves to "no access" (unmapped or
+ * insufficient permission) is not a fault: with PRI the device posts
+ * a page request (IommuBackend::postPageRequest) and retries after
+ * the OS services it — see iommu/sva.hh and dma/faultable.hh.
+ */
+
+#ifndef DAMN_IOMMU_ATS_HH
+#define DAMN_IOMMU_ATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "iommu/iotlb.hh"
+#include "sim/context.hh"
+
+namespace damn::iommu {
+
+class Iommu;
+
+/** One device's ATS state: its ATC plus request/hit accounting. */
+class AtsAgent
+{
+  public:
+    /** Outcome of a device-side ATS translation. */
+    struct Result
+    {
+        bool ok = false;       //!< translated with sufficient rights
+        bool hit = false;      //!< served from the ATC
+        mem::Pa pa = 0;
+        sim::TimeNs latencyNs = 0;
+    };
+
+    AtsAgent(sim::Context &ctx, Iommu &mmu, DomainId domain);
+
+    DomainId domain() const { return domain_; }
+
+    /**
+     * Translate @p iova for an @p is_write access.  ATC hit costs
+     * atsDevTlbHitNs; a miss pays the PCIe translation-request round
+     * trip plus the IOMMU-side walk and fills the ATC.  When the walk
+     * finds no sufficient mapping the result is !ok — the PRI retry
+     * path, not a recorded IOMMU fault.
+     */
+    Result translate(Iova iova, bool is_write);
+
+    // ---- Hardware-side ATC maintenance (called by the backends) ----
+
+    /** Apply a device-TLB invalidation covering [iova, iova+len). */
+    void invalidateRange(Iova iova, std::uint64_t len);
+
+    /** Apply a global device-TLB invalidation (the agent serves one
+     *  domain, so "global" and "domain" coincide). */
+    void invalidateAll();
+
+    /** Device reset (FLR): the ATC is cleared unconditionally — a
+     *  direct hardware reset, not a droppable queued command. */
+    void reset();
+
+    /**
+     * Test-only fault hook mirroring Iotlb::debugDropInvalidations():
+     * silently ignore the next @p n invalidation messages, leaving
+     * stale ATC entries behind — the bug the fuzzer's
+     * stale-device-tlb oracle must catch.  Production code never
+     * calls this.
+     */
+    void debugDropInvalidations(unsigned n) { debugDropRemaining_ = n; }
+
+    /** Page-aligned IOVAs of all valid ATC entries (oracle probe). */
+    std::vector<Iova> validEntries() const;
+
+    std::size_t entries() const;
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total == 0 ? 0.0 : double(hits_) / double(total);
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Iova page = 0;
+        mem::Pa paPage = 0;
+        std::uint32_t perm = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *find(Iova page);
+    void insert(Iova page, mem::Pa paPage, std::uint32_t perm);
+
+    sim::Context &ctx_;
+    Iommu &mmu_;
+    DomainId domain_;
+    std::vector<Entry> atc_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t invalidations_ = 0;
+    unsigned debugDropRemaining_ = 0;
+};
+
+} // namespace damn::iommu
+
+#endif // DAMN_IOMMU_ATS_HH

@@ -44,6 +44,8 @@ enum class BackendKind : std::uint8_t
 
 const char *backendKindName(BackendKind k);
 
+class AtsAgent;
+
 /** Parse a --backend= token; returns false on an unknown name. */
 bool backendFromName(const std::string &name, BackendKind *out);
 
@@ -140,6 +142,16 @@ struct TlbGeometry
  *    the backends price contention differently (VT-d holds its global
  *    queue lock for the whole hardware round trip; SMMUv3 holds the
  *    command-queue lock only while producing commands).
+ *
+ * ATS extension of the contract: a device-side TLB (AtsAgent's ATC)
+ * caches translations *outside* the IOMMU, so the flush entry points
+ * above do NOT touch it.  An ATC entry is certainly gone only once an
+ * atsInvalidate()/atsInvalidateAll() covering it has completed — and
+ * those verbs ride the same invalidation machinery, including the
+ * injectable `iommu.inval` drop hole (VT-d: the device-TLB
+ * invalidation descriptor is dropped; SMMUv3: the CMD_ATC_INV is
+ * pending until the covering CMD_SYNC, and an injected fault drops
+ * the whole batch).
  */
 class IommuBackend
 {
@@ -225,6 +237,76 @@ class IommuBackend
     virtual sim::TimeNs batchedFlushAll(sim::Core &core,
                                         sim::TimeNs now) = 0;
 
+    // ---- ATS / PRI (page-faultable DMA) ----------------------------
+
+    /** One PCIe page request (PRI): a device asking the OS to make an
+     *  address translatable so a stalled/faulted DMA can resume. */
+    struct PageRequest
+    {
+        DomainId domain = 0;
+        Iova iova = 0;
+        bool isWrite = false;
+        std::uint32_t group = 0;  //!< page-request-group / stall tag
+        sim::TimeNs time = 0;     //!< when the device posted it
+    };
+
+    /**
+     * A device posts a page request.  Bounded queue: when the ring is
+     * full the hardware auto-responds failure (the device must back
+     * off and retry) and this returns false.  VT-d models the PRQ
+     * ring + PRSR status bits; SMMUv3 models the stalled-transaction
+     * table whose overflow terminates the transaction.
+     */
+    virtual bool postPageRequest(const PageRequest &req) = 0;
+
+    /** OS-side consumption: drain every queued request (and clear any
+     *  overflow condition so new requests can be accepted again). */
+    virtual std::vector<PageRequest> fetchPageRequests() = 0;
+
+    /**
+     * OS responds to a fetched request: VT-d produces a
+     * page_group_response descriptor into the invalidation queue;
+     * SMMUv3 produces a CMD_RESUME into the command queue.
+     * @return completion time (when the device may retry).
+     */
+    virtual sim::TimeNs respondPageRequest(sim::Core &core,
+                                           sim::TimeNs now,
+                                           const PageRequest &req,
+                                           bool success) = 0;
+
+    /**
+     * Invalidate @p agent's device TLB for one IOVA range (VT-d
+     * device-TLB invalidation descriptor; SMMUv3 CMD_ATC_INV +
+     * CMD_SYNC).  Subject to the injectable `iommu.inval` drop.
+     * @return completion time.
+     */
+    virtual sim::TimeNs atsInvalidate(sim::Core &core, sim::TimeNs now,
+                                      AtsAgent &agent, DomainId domain,
+                                      Iova iova, std::uint64_t len) = 0;
+
+    /** Invalidate @p agent's whole device TLB (global CMD_ATC_INV /
+     *  device-TLB global invalidation descriptor). */
+    virtual sim::TimeNs atsInvalidateAll(sim::Core &core,
+                                         sim::TimeNs now,
+                                         AtsAgent &agent,
+                                         DomainId domain) = 0;
+
+    // PRI accounting shared by both models (the conservation law the
+    // fuzzer's pri-conservation oracle checks):
+    //   posted == autoResponses + pending + fetched,
+    //   responded <= fetched.
+    std::size_t pendingPageRequests() const { return prq_.size(); }
+    std::uint64_t pageRequestsPosted() const { return priPosted_; }
+    std::uint64_t pageRequestsFetched() const { return priFetched_; }
+    std::uint64_t pageRequestsResponded() const { return priResponded_; }
+    std::uint64_t
+    pageRequestAutoResponses() const
+    {
+        return priAutoResponses_;
+    }
+    /** High-water mark of the request queue over the run. */
+    std::size_t pageRequestMaxDepth() const { return priMaxDepth_; }
+
     // ---- Fault delivery --------------------------------------------
 
     /**
@@ -242,8 +324,52 @@ class IommuBackend
     const Iotlb &tlb() const { return tlb_; }
 
   protected:
+    /** Bounded-queue accept half of postPageRequest(): counts the
+     *  post, auto-responds failure when @p depth is reached. */
+    bool
+    priAccept(const PageRequest &req, std::size_t depth)
+    {
+        ++priPosted_;
+        ctx_.stats.add("pri.requests");
+        if (prq_.size() >= depth) {
+            ++priAutoResponses_;
+            ctx_.stats.add("pri.auto_responses");
+            return false;
+        }
+        prq_.push_back(req);
+        if (prq_.size() > priMaxDepth_)
+            priMaxDepth_ = prq_.size();
+        return true;
+    }
+
+    /** Drain half of fetchPageRequests(). */
+    std::vector<PageRequest>
+    priDrain()
+    {
+        priFetched_ += prq_.size();
+        std::vector<PageRequest> out = std::move(prq_);
+        prq_.clear();
+        return out;
+    }
+
+    /** Response accounting for respondPageRequest(). */
+    void
+    priNoteResponse()
+    {
+        ++priResponded_;
+        ctx_.stats.add("pri.responses");
+    }
+
     sim::Context &ctx_;
     Iotlb tlb_;
+
+  private:
+    std::vector<PageRequest> prq_;
+    std::uint64_t priPosted_ = 0;
+    std::uint64_t priFetched_ = 0;
+    std::uint64_t priResponded_ = 0;
+    std::uint64_t priAutoResponses_ = 0;
+    std::size_t priMaxDepth_ = 0;
 };
 
 /** Construct a backend model. */

@@ -5,6 +5,8 @@
 
 #include "iommu/backend_smmu.hh"
 
+#include "iommu/ats.hh"
+
 namespace damn::iommu {
 
 void
@@ -135,6 +137,12 @@ SmmuV3Backend::sync(sim::Core &core, sim::TimeNs now)
           case PendingInval::Kind::All:
             tlb_.invalidateAll();
             break;
+          case PendingInval::Kind::AtcRange:
+            p.agent->invalidateRange(p.iova, p.len);
+            break;
+          case PendingInval::Kind::AtcAll:
+            p.agent->invalidateAll();
+            break;
         }
     }
     ctx_.tracer.instant(core.id(), sim::TraceCat::Iotlb,
@@ -179,6 +187,83 @@ sim::TimeNs
 SmmuV3Backend::batchedFlushAll(sim::Core &core, sim::TimeNs now)
 {
     const sim::TimeNs t = submitTlbiAll(core, now);
+    return sync(core, t);
+}
+
+bool
+SmmuV3Backend::postPageRequest(const PageRequest &req)
+{
+    if (!priAccept(req, ctx_.cost.smmuStallDepth)) {
+        // Stalled-transaction table full: the SMMU terminates the
+        // transaction instead of stalling it (the auto-response).
+        ctx_.stats.add("smmu.stall_auto_terms");
+        return false;
+    }
+    ctx_.stats.add("smmu.stall_events");
+    return true;
+}
+
+std::vector<IommuBackend::PageRequest>
+SmmuV3Backend::fetchPageRequests()
+{
+    return priDrain();
+}
+
+sim::TimeNs
+SmmuV3Backend::respondPageRequest(sim::Core &core, sim::TimeNs now,
+                                  const PageRequest &req, bool success)
+{
+    (void)req;
+    (void)success;
+    // CMD_RESUME takes one cmdq slot; the stalled transaction resumes
+    // (or terminates) as soon as the SMMU consumes it — no CMD_SYNC.
+    const sim::TimeNs t = produce(core, now, 1);
+    const sim::TimeNs done = t + ctx_.cost.priResponseNs;
+    priNoteResponse();
+    ctx_.stats.add("smmu.cmd_resumes");
+    return done;
+}
+
+sim::TimeNs
+SmmuV3Backend::submitAtcInvRange(sim::Core &core, sim::TimeNs now,
+                                 AtsAgent &agent, Iova iova,
+                                 std::uint64_t len)
+{
+    const sim::TimeNs t = produce(core, now, 1);
+    pending_.push_back(
+        {PendingInval::Kind::AtcRange, 0, iova, len, &agent});
+    return t;
+}
+
+sim::TimeNs
+SmmuV3Backend::submitAtcInvAll(sim::Core &core, sim::TimeNs now,
+                               AtsAgent &agent)
+{
+    const sim::TimeNs t = produce(core, now, 1);
+    pending_.push_back({PendingInval::Kind::AtcAll, 0, 0, 0, &agent});
+    return t;
+}
+
+sim::TimeNs
+SmmuV3Backend::atsInvalidate(sim::Core &core, sim::TimeNs now,
+                             AtsAgent &agent, DomainId domain,
+                             Iova iova, std::uint64_t len)
+{
+    (void)domain;
+    // CMD_ATC_INV + CMD_SYNC; the endpoint round trip rides on the
+    // sync wait.
+    const sim::TimeNs t = submitAtcInvRange(core, now, agent, iova, len);
+    ctx_.stats.add("smmu.atc_invals");
+    return sync(core, t);
+}
+
+sim::TimeNs
+SmmuV3Backend::atsInvalidateAll(sim::Core &core, sim::TimeNs now,
+                                AtsAgent &agent, DomainId domain)
+{
+    (void)domain;
+    const sim::TimeNs t = submitAtcInvAll(core, now, agent);
+    ctx_.stats.add("smmu.atc_invals");
     return sync(core, t);
 }
 

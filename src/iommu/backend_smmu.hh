@@ -110,6 +110,49 @@ class SmmuV3Backend : public IommuBackend
     /** Commands produced and not yet covered by a CMD_SYNC. */
     std::size_t pendingCommands() const { return pending_.size(); }
 
+    // ---- ATS / PRI (stall model) -----------------------------------
+
+    /**
+     * A faulting transaction stalls: it occupies a slot in the
+     * stalled-transaction table until the OS issues CMD_RESUME.  A
+     * full table terminates the transaction (the auto-response) — the
+     * device must retry from scratch.
+     */
+    bool postPageRequest(const PageRequest &req) override;
+
+    std::vector<PageRequest> fetchPageRequests() override;
+
+    /** CMD_RESUME (retry or terminate) produced into the cmdq; fire
+     *  and forget — no CMD_SYNC needed for the device to resume. */
+    sim::TimeNs respondPageRequest(sim::Core &core, sim::TimeNs now,
+                                   const PageRequest &req,
+                                   bool success) override;
+
+    /**
+     * Produce a CMD_ATC_INV *without* a CMD_SYNC: like the TLBI
+     * commands, the device-TLB invalidation is pending — stale ATC
+     * entries stay visible until a later sync() applies it (and an
+     * injected `iommu.inval` fault at that sync drops it with the
+     * rest of the batch).  This is the ATS-invalidation-vs-CMD_SYNC
+     * race the conformance suite pins.
+     * @return time the producer releases the cmdq lock.
+     */
+    sim::TimeNs submitAtcInvRange(sim::Core &core, sim::TimeNs now,
+                                  AtsAgent &agent, Iova iova,
+                                  std::uint64_t len);
+
+    /** Produce a global CMD_ATC_INV for @p agent without a CMD_SYNC. */
+    sim::TimeNs submitAtcInvAll(sim::Core &core, sim::TimeNs now,
+                                AtsAgent &agent);
+
+    sim::TimeNs atsInvalidate(sim::Core &core, sim::TimeNs now,
+                              AtsAgent &agent, DomainId domain,
+                              Iova iova, std::uint64_t len) override;
+
+    sim::TimeNs atsInvalidateAll(sim::Core &core, sim::TimeNs now,
+                                 AtsAgent &agent,
+                                 DomainId domain) override;
+
     // ---- Event queue (hardware-side fault ring) --------------------
 
     /** Records currently in the event queue, oldest first. */
@@ -148,10 +191,18 @@ class SmmuV3Backend : public IommuBackend
   private:
     struct PendingInval
     {
-        enum class Kind : std::uint8_t { Range, Domain, All } kind;
+        enum class Kind : std::uint8_t
+        {
+            Range,
+            Domain,
+            All,
+            AtcRange, //!< CMD_ATC_INV, one range of agent's ATC
+            AtcAll,   //!< CMD_ATC_INV, agent's whole ATC
+        } kind;
         DomainId domain = 0;
         Iova iova = 0;
         std::uint64_t len = 0;
+        AtsAgent *agent = nullptr; //!< ATC commands only
     };
 
     /**

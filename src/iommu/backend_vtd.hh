@@ -15,12 +15,19 @@
  *    root/context tables are in-memory structures the CPU writes
  *    directly, so attach/detach charge nothing;
  *  - fault reporting through the fault recording registers, which the
- *    facade's bounded log already models — deliverFault is a no-op.
+ *    facade's bounded log already models — deliverFault is a no-op;
+ *  - the page-request queue (PRI): a bounded in-memory ring the
+ *    hardware appends page requests to, exposed through the PRQH/PRQT
+ *    head/tail registers and the PRS status register's pending +
+ *    overflow bits (the register map the twizzler driver programs).
+ *    Overflow auto-responds failure; responses and device-TLB
+ *    invalidations are descriptors in the same invalidation queue.
  */
 
 #ifndef DAMN_IOMMU_BACKEND_VTD_HH
 #define DAMN_IOMMU_BACKEND_VTD_HH
 
+#include "iommu/ats.hh"
 #include "iommu/backend.hh"
 #include "sim/sim_mutex.hh"
 
@@ -178,6 +185,96 @@ class VtdBackend : public IommuBackend
         return queue_.batchedFlushAll(core, now, tlb_);
     }
 
+    // ---- ATS / PRI -------------------------------------------------
+
+    bool
+    postPageRequest(const PageRequest &req) override
+    {
+        if (!priAccept(req, ctx_.cost.vtdPrqDepth)) {
+            // PRS overflow bit: sticky until the driver drains and
+            // clears it; the hardware auto-responded failure.
+            prsOverflow_ = true;
+            ctx_.stats.add("vtd.prq_auto_responses");
+            return false;
+        }
+        ++prqTail_;
+        ctx_.stats.add("vtd.prq_posts");
+        return true;
+    }
+
+    std::vector<PageRequest>
+    fetchPageRequests() override
+    {
+        // The driver advances PRQH to PRQT and clears PRS.PRO.
+        prqHead_ = prqTail_;
+        prsOverflow_ = false;
+        return priDrain();
+    }
+
+    /** Page_group_response descriptor through the invalidation queue. */
+    sim::TimeNs
+    respondPageRequest(sim::Core &core, sim::TimeNs now,
+                       const PageRequest &req, bool success) override
+    {
+        (void)req;
+        (void)success;
+        const sim::TimeNs done = queue_.lock().acquireAndHold(
+            core, now, ctx_.cost.priResponseNs, 1.0, ctx_.engine.now());
+        priNoteResponse();
+        ctx_.stats.add("vtd.prq_responses");
+        return done;
+    }
+
+    /**
+     * Device-TLB invalidation descriptor + invalidation-wait round
+     * trip under the queue lock.  The same injectable hole as the
+     * IOTLB descriptors: an `iommu.inval` fault spends the time but
+     * leaves the ATC stale.
+     */
+    sim::TimeNs
+    atsInvalidate(sim::Core &core, sim::TimeNs now, AtsAgent &agent,
+                  DomainId domain, Iova iova, std::uint64_t len) override
+    {
+        (void)domain;
+        const sim::TimeNs done = queue_.lock().acquireAndHold(
+            core, now, ctx_.cost.atsInvalidateNs,
+            ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
+        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
+            ctx_.stats.add("iommu.inval_dropped");
+            return done;
+        }
+        agent.invalidateRange(iova, len);
+        ctx_.stats.add("vtd.devtlb_invals");
+        return done;
+    }
+
+    sim::TimeNs
+    atsInvalidateAll(sim::Core &core, sim::TimeNs now, AtsAgent &agent,
+                     DomainId domain) override
+    {
+        (void)domain;
+        const sim::TimeNs done = queue_.lock().acquireAndHold(
+            core, now, ctx_.cost.atsInvalidateNs,
+            ctx_.cost.strictSpinBusyFraction, ctx_.engine.now());
+        if (ctx_.faults.shouldFail(sim::FaultSite::IommuInval)) {
+            ctx_.stats.add("iommu.inval_dropped");
+            return done;
+        }
+        agent.invalidateAll();
+        ctx_.stats.add("vtd.devtlb_invals");
+        return done;
+    }
+
+    // PRQ register view (conformance tests read these): monotone
+    // head/tail counters instead of wrapped ring offsets.
+    std::uint64_t prqHead() const { return prqHead_; }
+    std::uint64_t prqTail() const { return prqTail_; }
+    /** PRS pending bit: unfetched requests exist. */
+    bool prsPending() const { return prqHead_ != prqTail_; }
+    /** PRS overflow bit: a request was auto-responded since the last
+     *  drain. */
+    bool prsOverflow() const { return prsOverflow_; }
+
     // The facade's bounded log *is* the VT-d fault-recording model.
     void deliverFault(const FaultRecord &) override {}
 
@@ -186,6 +283,9 @@ class VtdBackend : public IommuBackend
 
   private:
     InvalidationQueue queue_;
+    std::uint64_t prqHead_ = 0;
+    std::uint64_t prqTail_ = 0;
+    bool prsOverflow_ = false;
 };
 
 } // namespace damn::iommu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SVA domain: demand-faulted device-accessible process memory.
+ */
+
+#include "iommu/sva.hh"
+
+#include "iommu/iommu.hh"
+#include "sim/tracer.hh"
+
+namespace damn::iommu {
+
+SvaDomain::SvaDomain(sim::Context &ctx, Iommu &mmu,
+                     mem::PageAllocator &alloc,
+                     unsigned residentLimitPages)
+    : ctx_(ctx), mmu_(mmu), alloc_(alloc),
+      residentLimit_(residentLimitPages), domain_(mmu.createDomain())
+{}
+
+SvaDomain::~SvaDomain()
+{
+    for (const auto &[va, r] : resident_)
+        alloc_.freePages(r.pfn, 0);
+}
+
+bool
+SvaDomain::resident(Iova va) const
+{
+    return resident_.count(va & ~Iova(mem::kPageSize - 1)) != 0;
+}
+
+mem::Pa
+SvaDomain::paOf(Iova va) const
+{
+    const Iova page = va & ~Iova(mem::kPageSize - 1);
+    const auto it = resident_.find(page);
+    return it == resident_.end() ? 0 : mem::pfnToPa(it->second.pfn);
+}
+
+bool
+SvaDomain::handleFault(sim::CpuCursor &cpu, Iova va, bool is_write,
+                       AtsAgent *ats)
+{
+    (void)is_write; // pages are installed RW; rights don't split here
+    const Iova page = va & ~Iova(mem::kPageSize - 1);
+    if (const auto it = resident_.find(page); it != resident_.end()) {
+        // Spurious fault: another request already brought it in.
+        it->second.lastUse = ++useClock_;
+        ctx_.stats.add("sva.spurious_faults");
+        return true;
+    }
+    if (residentLimit_ != 0 && resident_.size() >= residentLimit_)
+        evictLru(cpu, ats);
+    if (ctx_.faults.shouldFail(sim::FaultSite::PageAlloc)) {
+        ctx_.stats.add("sva.fault_alloc_fails");
+        ++failedFaults_;
+        return false;
+    }
+    const mem::Pfn pfn =
+        alloc_.allocPages(0, cpu.numa(), /*zero=*/ctx_.functionalData);
+    if (pfn == mem::kInvalidPfn) {
+        ctx_.stats.add("sva.fault_alloc_fails");
+        ++failedFaults_;
+        return false;
+    }
+    cpu.charge(ctx_.cost.pageAllocNs + ctx_.cost.ptePerPageNs);
+    mmu_.mapPage(domain_, page, mem::pfnToPa(pfn), PermRW);
+    resident_.emplace(page, Resident{pfn, ++useClock_});
+    ++faultsServiced_;
+    ctx_.stats.add("sva.faults_serviced");
+    return true;
+}
+
+bool
+SvaDomain::servicePageRequest(sim::CpuCursor &cpu,
+                              const IommuBackend::PageRequest &req,
+                              AtsAgent *ats)
+{
+    sim::TraceSpan span(ctx_.tracer, cpu, sim::TraceCat::Fault,
+                        "sva.page_fault");
+    cpu.charge(ctx_.cost.priFaultServiceNs);
+    const bool ok = handleFault(cpu, req.iova, req.isWrite, ats);
+    const sim::TimeNs done =
+        mmu_.backend().respondPageRequest(*cpu.core, cpu.time, req, ok);
+    cpu.waitUntil(done);
+    return ok;
+}
+
+bool
+SvaDomain::evict(sim::CpuCursor &cpu, Iova va, AtsAgent *ats)
+{
+    const Iova page = va & ~Iova(mem::kPageSize - 1);
+    const auto it = resident_.find(page);
+    if (it == resident_.end())
+        return false;
+    const mem::Pfn pfn = it->second.pfn;
+    mmu_.unmapPage(domain_, page);
+    cpu.waitUntil(mmu_.backend().syncInvalidate(
+        *cpu.core, cpu.time, domain_, page, mem::kPageSize));
+    if (ats != nullptr)
+        cpu.waitUntil(mmu_.backend().atsInvalidate(
+            *cpu.core, cpu.time, *ats, domain_, page, mem::kPageSize));
+    alloc_.freePages(pfn, 0);
+    resident_.erase(it);
+    ++evictions_;
+    ctx_.stats.add("sva.evictions");
+    return true;
+}
+
+void
+SvaDomain::evictLru(sim::CpuCursor &cpu, AtsAgent *ats)
+{
+    auto lru = resident_.begin();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it)
+        if (it->second.lastUse < lru->second.lastUse)
+            lru = it;
+    if (lru != resident_.end())
+        evict(cpu, lru->first, ats);
+}
+
+} // namespace damn::iommu

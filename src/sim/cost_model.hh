@@ -229,6 +229,43 @@ struct CostModel
     /** Event-queue ring capacity, fault records (2^EVTQS). */
     unsigned smmuEvtqDepth = 128;
 
+    // ---- ATS / PRI (page-faultable DMA, both backends) -------------
+    // PCIe Address Translation Services let an endpoint cache
+    // translations in its own device TLB (ATC) and — with the Page
+    // Request Interface — recover from misses by faulting to the OS
+    // and resuming.  The IOMMU side is VT-d's page-request queue and
+    // SMMUv3's stall/CMD_RESUME model.
+    /** Device-TLB (ATC) capacity, 4 KiB translations.  Endpoint ATCs
+     *  are small (tens of entries on ConnectX-class NICs). */
+    unsigned atsDevTlbEntries = 64;
+    /** Device-TLB hit: the translation resolves inside the endpoint,
+     *  no fabric round trip, ns. */
+    TimeNs atsDevTlbHitNs = 5;
+    /** ATS translation-request round trip over PCIe (miss path),
+     *  excluding the IOMMU-side walk itself, ns.  Roughly one
+     *  non-posted PCIe transaction. */
+    TimeNs atsTranslateNs = 250;
+    /** Device-TLB invalidation: the invalidation message to the
+     *  endpoint plus its completion response, charged on top of the
+     *  producer-side queue submission, ns. */
+    TimeNs atsInvalidateNs = 520;
+    /** Producing the page-request response (VT-d page_group_response
+     *  descriptor / SMMUv3 CMD_RESUME), ns. */
+    TimeNs priResponseNs = 150;
+    /** OS page-fault service CPU per request (PRQ IRQ, mm locking,
+     *  PTE install) excluding the page allocation itself, ns.
+     *  Calibrated to the few-microsecond I/O-page-fault service
+     *  latencies reported for virtual-address RDMA prototypes. */
+    TimeNs priFaultServiceNs = 2400;
+    /** Endpoint back-off before retrying a request that got a failure
+     *  auto-response (queue overflow), ns. */
+    TimeNs priRetryBackoffNs = 1200;
+    /** VT-d page-request queue capacity, records (PRQ ring). */
+    unsigned vtdPrqDepth = 32;
+    /** SMMUv3 stalled-transaction capacity: how many faulting
+     *  transactions can wait for CMD_RESUME, records. */
+    unsigned smmuStallDepth = 32;
+
     // ---- NIC / PCIe / memory ceilings ------------------------------
     /** Per-port line rate, Gb/s (ConnectX-4). */
     double nicPortGbps = 100.0;

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * ATS/PRI conformance tests, parameterized over both IOMMU backends:
+ * device-TLB (ATC) caching and staleness, the fault -> service ->
+ * resume ordering, page-request-queue overflow auto-responses, ATS
+ * invalidation vs the regular flush entry points (including the
+ * SMMUv3 CMD_ATC_INV-pending-until-CMD_SYNC race), and the faulting
+ * RDMA workload end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dma/device.hh"
+#include "dma/faultable.hh"
+#include "iommu/ats.hh"
+#include "iommu/backend_smmu.hh"
+#include "iommu/backend_vtd.hh"
+#include "iommu/iommu.hh"
+#include "iommu/sva.hh"
+#include "sim/fault_injector.hh"
+#include "workloads/rdma.hh"
+
+using namespace damn;
+using namespace damn::iommu;
+
+namespace {
+
+/**
+ * Both backends with tiny PRI queues (depth 4), so overflow is
+ * reachable, plus backing memory for the SVA / faultable-DMA tests.
+ */
+class AtsConformance : public ::testing::TestWithParam<BackendKind>
+{
+  protected:
+    static sim::CostModel
+    tiny()
+    {
+        sim::CostModel cm;
+        cm.vtdPrqDepth = 4;
+        cm.smmuStallDepth = 4;
+        return cm;
+    }
+
+    AtsConformance()
+        : ctx(tiny(), 1, 2), mmu(ctx, true, GetParam()),
+          pm(64ull << 20), alloc(pm, 1)
+    {}
+
+    sim::Core &core() { return ctx.machine.core(0); }
+
+    sim::Context ctx;
+    Iommu mmu;
+    mem::PhysicalMemory pm;
+    mem::PageAllocator alloc;
+};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AtsConformance,
+    ::testing::Values(BackendKind::Vtd, BackendKind::SmmuV3),
+    [](const ::testing::TestParamInfo<BackendKind> &p) {
+        return std::string(backendKindName(p.param)) == "vtd" ? "vtd"
+                                                              : "smmuv3";
+    });
+
+TEST_P(AtsConformance, DevTlbCachesTranslations)
+{
+    const DomainId d = mmu.createDomain();
+    AtsAgent ats(ctx, mmu, d);
+    ASSERT_TRUE(mmu.mapPage(d, 0x5000, 0x9000, PermRW));
+
+    const AtsAgent::Result miss = ats.translate(0x5123, true);
+    EXPECT_TRUE(miss.ok);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.pa, 0x9123u);
+
+    const AtsAgent::Result hit = ats.translate(0x5456, false);
+    EXPECT_TRUE(hit.ok);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.pa, 0x9456u);
+    EXPECT_LT(hit.latencyNs, miss.latencyNs);
+    EXPECT_EQ(ats.hits(), 1u);
+    EXPECT_EQ(ats.misses(), 1u);
+}
+
+TEST_P(AtsConformance, TranslateMissIsPriRetryNotFault)
+{
+    const DomainId d = mmu.createDomain();
+    AtsAgent ats(ctx, mmu, d);
+    EXPECT_FALSE(ats.translate(0xdead000, true).ok);
+    // Permission splits count too: read-only page, write access.
+    ASSERT_TRUE(mmu.mapPage(d, 0x5000, 0x9000, PermRead));
+    EXPECT_FALSE(ats.translate(0x5000, true).ok);
+    EXPECT_TRUE(ats.translate(0x5000, false).ok);
+    // Neither miss was a recorded IOMMU fault — PRI retries instead.
+    EXPECT_EQ(mmu.faults(), 0u);
+}
+
+TEST_P(AtsConformance, IotlbFlushLeavesAtcStaleUntilAtsInvalidate)
+{
+    const DomainId d = mmu.createDomain();
+    AtsAgent ats(ctx, mmu, d);
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    ASSERT_TRUE(ats.translate(0x5000, true).ok);
+
+    mmu.unmapPage(d, 0x5000);
+    mmu.backend().syncInvalidate(core(), 0, d, 0x5000, 4096);
+    // The IOTLB flush never reaches the device: the ATC still serves
+    // the (now stale) translation — the extra window ATS opens.
+    const AtsAgent::Result stale = ats.translate(0x5000, true);
+    EXPECT_TRUE(stale.ok);
+    EXPECT_TRUE(stale.hit);
+    EXPECT_EQ(ats.entries(), 1u);
+
+    // Only the explicit device-TLB invalidation verb closes it.
+    mmu.backend().atsInvalidate(core(), 0, ats, d, 0x5000, 4096);
+    EXPECT_EQ(ats.entries(), 0u);
+    EXPECT_FALSE(ats.translate(0x5000, true).ok);
+}
+
+TEST_P(AtsConformance, AtsInvalidateAllClearsEveryEntry)
+{
+    const DomainId d = mmu.createDomain();
+    AtsAgent ats(ctx, mmu, d);
+    for (Iova va = 0x5000; va < 0x9000; va += 0x1000) {
+        mmu.mapPage(d, va, 0x10000 + va, PermRW);
+        ASSERT_TRUE(ats.translate(va, true).ok);
+    }
+    EXPECT_EQ(ats.entries(), 4u);
+    const sim::TimeNs done =
+        mmu.backend().atsInvalidateAll(core(), 0, ats, d);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ats.entries(), 0u);
+}
+
+TEST_P(AtsConformance, DroppedAtsInvalidationLeavesStaleAtc)
+{
+    const DomainId d = mmu.createDomain();
+    AtsAgent ats(ctx, mmu, d);
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    ats.translate(0x5000, true);
+    mmu.unmapPage(d, 0x5000);
+
+    ctx.faults.enable(13);
+    ctx.faults.failNth(sim::FaultSite::IommuInval, 1);
+    mmu.backend().atsInvalidate(core(), 0, ats, d, 0x5000, 4096);
+    // VT-d drops the device-TLB inval descriptor; SMMUv3 drops the
+    // CMD_ATC_INV batch at its CMD_SYNC.  Either way: stale entry.
+    EXPECT_EQ(ats.entries(), 1u);
+    EXPECT_EQ(ctx.stats.get("iommu.inval_dropped"), 1u);
+    // The next (uninjected) invalidation clears it.
+    mmu.backend().atsInvalidate(core(), 0, ats, d, 0x5000, 4096);
+    EXPECT_EQ(ats.entries(), 0u);
+}
+
+TEST_P(AtsConformance, FaultServiceResumeOrdering)
+{
+    SvaDomain sva(ctx, mmu, alloc);
+    AtsAgent ats(ctx, mmu, sva.domain());
+    const Iova va = 0x7f0000000000ull;
+
+    // Device stalls: no translation yet, so it posts a page request.
+    EXPECT_FALSE(ats.translate(va, true).ok);
+    ASSERT_TRUE(mmu.backend().postPageRequest(
+        {sva.domain(), va, true, 0, 100}));
+    EXPECT_EQ(mmu.backend().pendingPageRequests(), 1u);
+
+    // OS fetches and services: the page becomes resident and mapped,
+    // and the response completes strictly after the request.
+    const auto reqs = mmu.backend().fetchPageRequests();
+    ASSERT_EQ(reqs.size(), 1u);
+    sim::CpuCursor cpu(core(), 200);
+    EXPECT_TRUE(sva.servicePageRequest(cpu, reqs[0], &ats));
+    EXPECT_GT(cpu.time, reqs[0].time);
+    EXPECT_TRUE(sva.resident(va));
+    EXPECT_EQ(sva.faultsServiced(), 1u);
+
+    // Resume: the retried translation now succeeds and fills the ATC.
+    const AtsAgent::Result r = ats.translate(va, true);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, sva.paOf(va));
+    EXPECT_EQ(mmu.backend().pageRequestsResponded(), 1u);
+}
+
+TEST_P(AtsConformance, PrqOverflowAutoResponds)
+{
+    SvaDomain sva(ctx, mmu, alloc);
+    const Iova base = 0x7f0000000000ull;
+
+    // Depth is 4 (tiny cost model): posts 5 and 6 must auto-respond.
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        const bool accepted = mmu.backend().postPageRequest(
+            {sva.domain(), base + Iova(i) * 0x1000, true, i, 0});
+        EXPECT_EQ(accepted, i < 4) << "post " << i;
+    }
+    IommuBackend &be = mmu.backend();
+    EXPECT_EQ(be.pendingPageRequests(), 4u);
+    EXPECT_EQ(be.pageRequestsPosted(), 6u);
+    EXPECT_EQ(be.pageRequestAutoResponses(), 2u);
+    EXPECT_EQ(be.pageRequestMaxDepth(), 4u);
+
+    if (auto *vtd = dynamic_cast<VtdBackend *>(&be)) {
+        // VT-d surfaces the condition architecturally: PRQ head/tail
+        // diverge and the sticky overflow bit is set...
+        EXPECT_TRUE(vtd->prsPending());
+        EXPECT_TRUE(vtd->prsOverflow());
+        EXPECT_EQ(vtd->prqTail() - vtd->prqHead(), 4u);
+    }
+
+    // ...until the OS drains the queue, which clears both.
+    EXPECT_EQ(be.fetchPageRequests().size(), 4u);
+    EXPECT_EQ(be.pendingPageRequests(), 0u);
+    EXPECT_EQ(be.pageRequestsFetched(), 4u);
+    if (auto *vtd = dynamic_cast<VtdBackend *>(&be)) {
+        EXPECT_FALSE(vtd->prsPending());
+        EXPECT_FALSE(vtd->prsOverflow());
+    }
+    // The conservation law the fuzzer's pri-conservation oracle pins.
+    EXPECT_EQ(be.pageRequestsPosted(),
+              be.pageRequestAutoResponses() +
+                  be.pendingPageRequests() + be.pageRequestsFetched());
+}
+
+TEST_P(AtsConformance, SvaResidentLimitEvictsLru)
+{
+    SvaDomain sva(ctx, mmu, alloc, /*residentLimitPages=*/2);
+    AtsAgent ats(ctx, mmu, sva.domain());
+    sim::CpuCursor cpu(core(), 0);
+    const Iova base = 0x7f0000000000ull;
+
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_TRUE(sva.handleFault(cpu, base + Iova(i) * 0x1000,
+                                    true, &ats));
+    EXPECT_EQ(sva.residentPages(), 2u);
+    EXPECT_EQ(sva.evictions(), 1u);
+    // Page 0 was the LRU victim: unmapped, ATS-invalidated, freed.
+    EXPECT_FALSE(sva.resident(base));
+    EXPECT_TRUE(sva.resident(base + 0x2000));
+    EXPECT_FALSE(ats.translate(base, true).ok);
+}
+
+TEST_P(AtsConformance, FaultableDmaFaultsInAndCompletes)
+{
+    SvaDomain sva(ctx, mmu, alloc);
+    AtsAgent ats(ctx, mmu, sva.domain());
+    dma::Device dev(ctx, "ats0", mmu, pm);
+    sim::CpuCursor cpu(core(), 0);
+    const Iova va = 0x7f0000000000ull;
+
+    std::vector<std::uint8_t> payload(3 * mem::kPageSize + 17, 0xa5);
+    const dma::FaultableDmaResult w = dma::faultableDma(
+        cpu, dev, ats, sva, va, payload.data(), payload.size(),
+        /*is_write=*/true);
+    EXPECT_TRUE(w.ok);
+    EXPECT_EQ(w.bytesDone, payload.size());
+    EXPECT_EQ(w.faultsServiced, 4u);
+    EXPECT_GT(w.serviceNsTotal, 0u);
+
+    // Read back through a second faultable DMA: all resident now, so
+    // zero faults — and the bytes round-trip.
+    std::vector<std::uint8_t> readback(payload.size(), 0);
+    const dma::FaultableDmaResult r = dma::faultableDma(
+        cpu, dev, ats, sva, va, readback.data(), readback.size(),
+        /*is_write=*/false);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.faultsServiced, 0u);
+    EXPECT_EQ(readback, payload);
+}
+
+TEST_P(AtsConformance, RdmaWorkloadServicesFaultsDeterministically)
+{
+    work::RdmaOpts o;
+    o.scheme = dma::SchemeKind::Strict;
+    o.footprintBytes = 1ull << 20;
+    o.seed = 42;
+    o.runWindow = {sim::kNsPerMs, 2 * sim::kNsPerMs};
+    o.sysParams.backend = GetParam();
+    const work::RdmaResult a = work::runRdma(o);
+    const work::RdmaResult b = work::runRdma(o);
+
+    EXPECT_GT(a.faultsServiced, 0u);
+    EXPECT_GT(a.messages, 0u);
+    EXPECT_GT(a.prqMaxDepth, 0u);
+    EXPECT_GT(a.avgFaultServiceNs, 0.0);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.faultsServiced, b.faultsServiced);
+    EXPECT_EQ(a.common.stats, b.common.stats);
+}
+
+// ---------------------------------------------------------------------
+// SMMUv3-specific: CMD_ATC_INV is pending until CMD_SYNC.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct SmmuAtsFixture : ::testing::Test
+{
+    SmmuAtsFixture()
+        : ctx(sim::CostModel{}, 1, 2),
+          mmu(ctx, true, BackendKind::SmmuV3),
+          smmu(dynamic_cast<SmmuV3Backend &>(mmu.backend()))
+    {}
+
+    sim::Context ctx;
+    Iommu mmu;
+    SmmuV3Backend &smmu;
+};
+
+} // namespace
+
+TEST_F(SmmuAtsFixture, AtcInvPendingUntilCmdSync)
+{
+    const DomainId d = mmu.createDomain();
+    AtsAgent ats(ctx, mmu, d);
+    mmu.mapPage(d, 0x5000, 0x9000, PermRW);
+    ats.translate(0x5000, true);
+    mmu.unmapPage(d, 0x5000);
+
+    // CMD_ATC_INV alone does nothing observable: the ATC entry stays
+    // visible until the covering CMD_SYNC completes — the ordering
+    // race the fuzzer's Sync op and this suite both pin.
+    const sim::TimeNs t =
+        smmu.submitAtcInvRange(ctx.machine.core(0), 0, ats, 0x5000,
+                               4096);
+    EXPECT_EQ(ats.entries(), 1u);
+    EXPECT_GE(smmu.pendingCommands(), 1u);
+    smmu.sync(ctx.machine.core(0), t);
+    EXPECT_EQ(ats.entries(), 0u);
+    EXPECT_EQ(smmu.pendingCommands(), 0u);
+}
+
+TEST_F(SmmuAtsFixture, ResumeIsFireAndForget)
+{
+    // A stalled transaction is a stall event; CMD_RESUME is produced
+    // into the command queue without a trailing CMD_SYNC (the device
+    // retries whenever it retries — resume needs no ordering).
+    const DomainId d = mmu.createDomain();
+    ASSERT_TRUE(smmu.postPageRequest({d, 0x7000, true, 0, 0}));
+    EXPECT_EQ(ctx.stats.get("smmu.stall_events"), 1u);
+    const auto reqs = smmu.fetchPageRequests();
+    ASSERT_EQ(reqs.size(), 1u);
+    const sim::TimeNs done =
+        smmu.respondPageRequest(ctx.machine.core(0), 50, reqs[0], true);
+    EXPECT_GT(done, 50u);
+    EXPECT_EQ(ctx.stats.get("smmu.cmd_resumes"), 1u);
+    EXPECT_EQ(smmu.pageRequestsResponded(), 1u);
+}

@@ -25,6 +25,9 @@
 #include <optional>
 #include <sstream>
 
+#include "dma/faultable.hh"
+#include "iommu/ats.hh"
+#include "iommu/sva.hh"
 #include "net/system.hh"
 #include "sim/rng.hh"
 #include "workloads/attacks.hh"
@@ -313,6 +316,137 @@ TEST(Differential, InjectedReorderIsDetected)
     const auto d = firstDivergence(a, b);
     ASSERT_TRUE(d.has_value());
     EXPECT_NE(d->find("delivery order"), std::string::npos) << *d;
+}
+
+// ---------------------------------------------------------------------
+// Faulting RDMA (ATS/PRI): payloads that land through the page-fault
+// path — device stalls, page request, service, resume — must be just
+// as scheme- and backend-invariant as the pinned-buffer paths above.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** What the faulting-RDMA workload delivered into pageable memory. */
+struct FaultingRun
+{
+    std::string label;
+    std::vector<Delivered> messages; //!< bytes as they landed
+    std::uint64_t faultsServiced = 0;
+};
+
+FaultingRun
+runFaultingRdma(dma::SchemeKind kind, std::uint64_t seed,
+                iommu::BackendKind backend = iommu::BackendKind::Vtd)
+{
+    net::SystemParams p;
+    p.scheme = kind;
+    p.backend = backend;
+    net::System sys(p);
+    sys.ctx.functionalData = true;
+
+    dma::Device dev(sys.ctx, "rdmadiff", sys.mmu, sys.phys);
+    iommu::SvaDomain sva(sys.ctx, sys.mmu, sys.pageAlloc,
+                         /*residentLimitPages=*/8);
+    iommu::AtsAgent ats(sys.ctx, sys.mmu, sva.domain());
+    sim::CpuCursor cpu(sys.ctx.machine.core(0), 0);
+    sim::Rng rng(seed);
+
+    // One pinned descriptor page keeps the scheme-priced DMA-API
+    // control path in the loop, as the real workload does.
+    const mem::Pfn descPfn = sys.pageAlloc.allocPages(0, 0);
+    const mem::Pa descPa = mem::pfnToPa(descPfn);
+
+    FaultingRun out;
+    out.label = std::string(dma::schemeKindName(kind)) + "/" +
+                iommu::backendKindName(backend);
+    constexpr iommu::Iova kBase = 0x7f0000000000ull;
+    constexpr unsigned kMessages = 24;
+    constexpr unsigned kWindowPages = 16; //!< > resident limit: evicts
+
+    for (unsigned i = 0; i < kMessages; ++i) {
+        const iommu::Iova d = sys.dmaApi->map(cpu, dev, descPa, 64,
+                                              dma::Dir::ToDevice);
+        if (d != dma::kMapFailed)
+            sys.dmaApi->unmap(cpu, dev, d, 64, dma::Dir::ToDevice);
+
+        const iommu::Iova va =
+            kBase + rng.below(kWindowPages) * mem::kPageSize;
+        const auto len =
+            std::uint32_t(rng.between(1, 3 * mem::kPageSize));
+        std::vector<std::uint8_t> wire(len);
+        for (auto &b : wire)
+            b = std::uint8_t(rng.below(256));
+
+        const dma::FaultableDmaResult w = dma::faultableDma(
+            cpu, dev, ats, sva, va, wire.data(), len,
+            /*is_write=*/true);
+        EXPECT_TRUE(w.ok) << out.label << " message " << i;
+        out.faultsServiced += w.faultsServiced;
+
+        // Read back through a second faultable DMA: pages the write
+        // left resident hit the ATC, pages the LRU already evicted
+        // re-fault — the full device-visible landing bytes either way.
+        Delivered msg;
+        msg.id = i;
+        msg.payload.resize(len);
+        const dma::FaultableDmaResult r = dma::faultableDma(
+            cpu, dev, ats, sva, va, msg.payload.data(), len,
+            /*is_write=*/false);
+        EXPECT_TRUE(r.ok) << out.label << " message " << i;
+        out.faultsServiced += r.faultsServiced;
+        out.messages.push_back(std::move(msg));
+    }
+    sys.pageAlloc.freePages(descPfn, 0);
+    return out;
+}
+
+std::optional<std::string>
+faultingDivergence(const FaultingRun &a, const FaultingRun &b)
+{
+    if (a.messages.size() != b.messages.size())
+        return std::string("message count differs");
+    for (std::size_t i = 0; i < a.messages.size(); ++i) {
+        if (a.messages[i].payload != b.messages[i].payload)
+            return "message " + std::to_string(i) +
+                   " payload diverges (" + a.label + " vs " + b.label +
+                   ")";
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+TEST(Differential, FaultingRdmaDeliversIdenticalPayloadsAcrossSchemes)
+{
+    for (const iommu::BackendKind bk :
+         {iommu::BackendKind::Vtd, iommu::BackendKind::SmmuV3}) {
+        const FaultingRun base =
+            runFaultingRdma(dma::SchemeKind::IommuOff, 42, bk);
+        EXPECT_GT(base.faultsServiced, 0u)
+            << "workload never exercised the PRI path";
+        for (const dma::SchemeKind k : kSchemes) {
+            if (k == dma::SchemeKind::IommuOff)
+                continue;
+            const FaultingRun other = runFaultingRdma(k, 42, bk);
+            const auto d = faultingDivergence(base, other);
+            EXPECT_FALSE(d.has_value()) << *d;
+            EXPECT_EQ(base.faultsServiced, other.faultsServiced)
+                << other.label;
+        }
+    }
+}
+
+TEST(Differential, FaultingRdmaDeliversIdenticalPayloadsAcrossBackends)
+{
+    for (const dma::SchemeKind k : kSchemes) {
+        const FaultingRun vtd =
+            runFaultingRdma(k, 7, iommu::BackendKind::Vtd);
+        const FaultingRun smmu =
+            runFaultingRdma(k, 7, iommu::BackendKind::SmmuV3);
+        const auto d = faultingDivergence(vtd, smmu);
+        EXPECT_FALSE(d.has_value())
+            << dma::schemeKindName(k) << ": " << *d;
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -17,10 +17,10 @@ using exp::Json;
 
 namespace {
 
-TEST(Registry, AllNineteenExperimentsRegistered)
+TEST(Registry, AllTwentyExperimentsRegistered)
 {
     const auto all = exp::allExperiments();
-    ASSERT_EQ(all.size(), 19u);
+    ASSERT_EQ(all.size(), 20u);
 
     std::set<std::string> names;
     for (const exp::Experiment *e : all) {
@@ -35,7 +35,8 @@ TEST(Registry, AllNineteenExperimentsRegistered)
           "fig8_tocttou", "fig9_stock_pages", "fig10_memory",
           "fig11_nvme", "table1_matrix", "table3_variants",
           "latency_profile", "micro_allocator", "fault_storm",
-          "chaos_soak", "netperf_stream", "backend_matrix"})
+          "chaos_soak", "netperf_stream", "backend_matrix",
+          "rdma_pagefault"})
         EXPECT_NE(names.count(want), 0u) << want;
 }
 

@@ -468,6 +468,48 @@ TEST(FuzzHarness, InjectedStaleBugIsCaughtAndShrunk)
     }
 }
 
+TEST(FuzzHarness, InjectedDevTlbBugIsCaughtAndShrunk)
+{
+    // Same self-check for the device-TLB side: silently dropping ATS
+    // invalidations must trip the stale-device-tlb oracle — which the
+    // IOTLB oracle cannot see, since the ATC sits outside the IOMMU —
+    // and shrink to a handful of ops on both backends.
+    struct Cell
+    {
+        dma::SchemeKind scheme;
+        iommu::BackendKind backend;
+    };
+    const Cell cells[] = {
+        {dma::SchemeKind::Strict, iommu::BackendKind::Vtd},
+        {dma::SchemeKind::Deferred, iommu::BackendKind::SmmuV3},
+    };
+    for (const Cell &cell : cells) {
+        fuzz::FuzzConfig cfg;
+        cfg.scheme = cell.scheme;
+        cfg.backend = cell.backend;
+        cfg.seed = 7;
+        cfg.ops = 40;
+        cfg.injectDevTlbBug = true;
+
+        const fuzz::Sequence seq = fuzz::generate(cfg);
+        const fuzz::FuzzResult res = fuzz::runSequence(cfg, seq);
+        ASSERT_TRUE(res.violated)
+            << dma::schemeKindName(cell.scheme) << "/"
+            << iommu::backendKindName(cell.backend);
+        EXPECT_EQ(res.violation.oracle, "stale-device-tlb");
+
+        const fuzz::ShrinkResult small =
+            fuzz::shrink(cfg, seq, res.violation);
+        EXPECT_LE(small.seq.size(), 12u)
+            << "shrunk repro too large for "
+            << dma::schemeKindName(cell.scheme);
+        ASSERT_TRUE(small.result.violated);
+        EXPECT_EQ(small.result.violation.oracle, "stale-device-tlb");
+        const fuzz::FuzzResult again = fuzz::runSequence(cfg, small.seq);
+        EXPECT_EQ(again.digest, small.result.digest);
+    }
+}
+
 TEST(FuzzCorpus, SerializeParseReplayRoundTrip)
 {
     // A recorded run must survive text serialization and replay to the
@@ -504,4 +546,38 @@ TEST(FuzzCorpus, SerializeParseReplayRoundTrip)
     EXPECT_FALSE(fuzz::parseCorpus(text + "bogus_key 1\n", &parsed,
                                    &err));
     EXPECT_FALSE(fuzz::parseCorpus("dfz 2\n", &parsed, &err));
+}
+
+TEST(FuzzCorpus, DevTlbInjectTokenRoundTripsAndReplays)
+{
+    // The stale-devtlb inject flag must survive serialization, and a
+    // replayed devtlb repro must reproduce its recorded verdict.
+    fuzz::FuzzConfig cfg;
+    cfg.scheme = dma::SchemeKind::Strict;
+    cfg.backend = iommu::BackendKind::Vtd;
+    cfg.seed = 7;
+    cfg.ops = 40;
+    cfg.injectDevTlbBug = true;
+    const fuzz::Sequence seq = fuzz::generate(cfg);
+    const fuzz::FuzzResult res = fuzz::runSequence(cfg, seq);
+    ASSERT_TRUE(res.violated);
+
+    fuzz::CorpusFile file;
+    file.cfg = cfg;
+    file.seq = seq;
+    file.verdict = fuzz::verdictOf(res);
+
+    const std::string text = fuzz::serializeCorpus(file);
+    EXPECT_NE(text.find("inject stale-devtlb"), std::string::npos);
+    fuzz::CorpusFile parsed;
+    std::string err;
+    ASSERT_TRUE(fuzz::parseCorpus(text, &parsed, &err)) << err;
+    EXPECT_TRUE(parsed.cfg.injectDevTlbBug);
+    EXPECT_FALSE(parsed.cfg.injectStaleBug);
+    EXPECT_EQ(parsed.seq, file.seq);
+    EXPECT_EQ(parsed.verdict, "stale-device-tlb");
+
+    const fuzz::ReplayOutcome replay = fuzz::replayCorpus(parsed);
+    EXPECT_TRUE(replay.reproduced)
+        << "recorded " << file.verdict << ", got " << replay.verdict;
 }

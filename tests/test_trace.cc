@@ -265,6 +265,49 @@ TEST(GoldenTrace, AttributionCoversAtLeast95PctForEveryScheme)
     }
 }
 
+TEST(GoldenTrace, RdmaPagefaultRunIsByteIdenticalAndServicesFaults)
+{
+    exp::DriverOptions o;
+    o.only = "rdma_pagefault";
+    o.schemes = {dma::SchemeKind::Strict, dma::SchemeKind::Deferred};
+    o.warmupNs = 1 * sim::kNsPerMs;
+    o.measureNs = 2 * sim::kNsPerMs;
+    o.tracePath = "unused"; // non-empty => RunCtx.traceEvents
+
+    const exp::Report r1 = exp::runExperiments(o);
+    const exp::Report r2 = exp::runExperiments(o);
+    const std::string j1 = exp::reportJson(r1).dump();
+    EXPECT_EQ(j1, exp::reportJson(r2).dump())
+        << "rdma_pagefault JSON must be byte-identical";
+    EXPECT_EQ(exp::chromeTraceForReport(r1),
+              exp::chromeTraceForReport(r2))
+        << "rdma_pagefault trace must be byte-identical";
+
+    // Every run of the sweep must actually exercise the PRI path and
+    // report the new metric block.
+    const Json doc = Json::parse(j1);
+    const Json *runs = nullptr;
+    for (const Json &e : doc.find("experiments")->items())
+        if (e.find("name")->str() == "rdma_pagefault")
+            runs = e.find("runs");
+    ASSERT_NE(runs, nullptr);
+    EXPECT_FALSE(runs->items().empty());
+    for (const Json &run : runs->items()) {
+        const Json *m = run.find("metrics");
+        ASSERT_NE(m, nullptr);
+        for (const char *name :
+             {"faults_serviced", "auto_responses", "prq_max_depth",
+              "devtlb_hit_rate", "fault_service_avg_ns"})
+            ASSERT_NE(m->find(name), nullptr) << name;
+        EXPECT_GT(m->find("faults_serviced")->find("value")->asDouble(),
+                  0.0)
+            << run.find("scheme")->str() << "/"
+            << run.find("params")->find("backend")->str();
+        EXPECT_GT(m->find("prq_max_depth")->find("value")->asDouble(),
+                  0.0);
+    }
+}
+
 TEST(GoldenTrace, SchemaV2AttributionBlockIsDocumentedShape)
 {
     const exp::Report r = exp::runExperiments(traceDriverOpts());
