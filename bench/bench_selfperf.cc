@@ -11,7 +11,11 @@
  *    speedup, tracked PR over PR;
  *  - wall-ns per simulated-ms of a representative experiment unit
  *    (multi-core netperf RX) per protection scheme, plus its
- *    wall-clock event dispatch rate.
+ *    wall-clock event dispatch rate;
+ *  - intra-run shard scaling: the sharded scale-out netperf workload
+ *    (4 machine shards under sim::ShardedEngine) at 1/2/4 workers —
+ *    events/sec per worker count plus the determinism digest, which
+ *    must be identical at every worker count (hard gate).
  *
  * Results go to BENCH_selfperf.json (see EXPERIMENTS.md for the
  * schema).  The numbers are wall-clock and therefore host-dependent —
@@ -33,6 +37,9 @@
 #include "legacy_engine.hh"
 #include "sim/engine.hh"
 #include "workloads/netperf.hh"
+#include "workloads/sharded.hh"
+
+#include <thread>
 
 namespace {
 
@@ -57,7 +64,12 @@ const char kUsage[] =
     "                    PATH's recorded engine.speedup.  The ratio is\n"
     "                    host-independent (both engines run on the\n"
     "                    same machine back to back), unlike the raw\n"
-    "                    events/sec numbers.\n"
+    "                    events/sec numbers.  Then replays the sharded\n"
+    "                    netperf workload at 1 and 4 workers: digest or\n"
+    "                    event-count divergence always fails (exit 5);\n"
+    "                    on hosts with >= 4 hardware threads the\n"
+    "                    4-worker speedup must also clear\n"
+    "                    max(1.5, baseline * (1 - tolerance)).\n"
     "  --tolerance=PCT   allowed speedup regression (default 15)\n"
     "  --help            this text\n";
 
@@ -180,6 +192,57 @@ runUnit(damn::dma::SchemeKind scheme, TimeNs warmup_ns,
 }
 
 // ---------------------------------------------------------------------
+// Intra-run shard scaling (sim::ShardedEngine)
+// ---------------------------------------------------------------------
+
+/** Machine shards of the scaling workload: enough independent engines
+ *  that 4 workers all have a shard to advance every round. */
+constexpr unsigned kShardCount = 4;
+
+struct ShardTrial
+{
+    unsigned workers = 0;
+    std::uint64_t events = 0;
+    double wallMs = 0.0;
+    double eventsPerSec = 0.0;
+    std::uint64_t digest = 0;
+};
+
+/** One sharded scale-out netperf run at @p workers threads. */
+ShardTrial
+runShardTrial(unsigned workers, TimeNs warmup_ns, TimeNs measure_ns)
+{
+    namespace work = damn::work;
+    work::ShardedNetperfOpts o;
+    o.plan.shards = kShardCount;
+    o.scheme = damn::dma::SchemeKind::Damn;
+    o.runWindow = work::RunWindow{warmup_ns, measure_ns};
+    o.workers = workers;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const work::ShardedNetperfResult r = work::runShardedNetperf(o);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ShardTrial t;
+    t.workers = workers;
+    t.events = r.events;
+    const double wall_s = wallSeconds(t0, t1);
+    t.wallMs = wall_s * 1e3;
+    t.eventsPerSec = wall_s > 0.0 ? double(r.events) / wall_s : 0.0;
+    t.digest = r.digest;
+    return t;
+}
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  (unsigned long long)digest);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
 // Schema validation (--check)
 // ---------------------------------------------------------------------
 
@@ -256,14 +319,51 @@ checkSchema(const damn::exp::Json &doc, std::string *err)
             if (!checkNumber(u.find(key), key, true, err))
                 return false;
     }
+    // v2: the intra-run shard-scaling section (sim::ShardedEngine).
+    if (ver->asDouble() >= 2.0) {
+        const Json *shard = doc.find("shard");
+        if (!shard || !shard->isObject()) {
+            *err = "missing object: shard";
+            return false;
+        }
+        for (const char *key : {"shards", "speedup_w4"})
+            if (!checkNumber(shard->find(key), key, true, err))
+                return false;
+        const Json *digest = shard->find("digest");
+        if (!digest || digest->kind() != Json::Kind::String ||
+            digest->str().empty()) {
+            *err = "shard needs a string: digest";
+            return false;
+        }
+        const Json *trials = shard->find("trials");
+        if (!trials || !trials->isArray() || trials->items().empty()) {
+            *err = "shard.trials must be a non-empty array";
+            return false;
+        }
+        for (const Json &t : trials->items())
+            for (const char *key :
+                 {"workers", "events", "wall_ms", "events_per_sec"})
+                if (!checkNumber(t.find(key), key, true, err))
+                    return false;
+    }
     return true;
 }
 
 /**
  * Perf-regression gate (the bench-selfperf-tolerance ctest): re-run
  * the engine A/B and compare the measured speedup ratio against the
- * committed baseline.  Exit 5 — distinct from schema/usage errors — on
- * a regression beyond the tolerance.
+ * committed baseline, then re-run the intra-run shard scaling A/B
+ * (1 worker vs 4) with two gates:
+ *
+ *  - determinism: the two worker counts must produce identical
+ *    digests on every host (byte-identical execution — exit 5);
+ *  - speedup: on hosts with >= 4 hardware threads, the 4-worker
+ *    speedup must clear both the committed baseline (minus the
+ *    tolerance) and an absolute 1.5x floor.  Hosts with fewer
+ *    threads cannot exhibit parallel speedup, so only the
+ *    determinism gate binds there.
+ *
+ * Exit 5 — distinct from schema/usage errors — on a regression.
  */
 int
 regressCheck(const std::string &path, double tolerance_pct,
@@ -278,6 +378,7 @@ regressCheck(const std::string &path, double tolerance_pct,
     std::ostringstream ss;
     ss << in.rdbuf();
     double baseline = 0.0;
+    double shard_baseline = 0.0; // 0 = v1 file, no shard section
     try {
         const damn::exp::Json doc = damn::exp::Json::parse(ss.str());
         std::string err;
@@ -288,6 +389,8 @@ regressCheck(const std::string &path, double tolerance_pct,
             return 1;
         }
         baseline = doc.find("engine")->find("speedup")->asDouble();
+        if (const damn::exp::Json *shard = doc.find("shard"))
+            shard_baseline = shard->find("speedup_w4")->asDouble();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "bench_selfperf: %s: parse error: %s\n",
                      path.c_str(), e.what());
@@ -310,6 +413,51 @@ regressCheck(const std::string &path, double tolerance_pct,
         return 5;
     }
     std::printf("engine fast path within tolerance\n");
+
+    // Intra-run shard scaling A/B at a small window (the virtual-time
+    // workload is identical at any worker count, so the digest gate is
+    // exact even when the wall-clock numbers are noisy).
+    const TimeNs warmup = damn::sim::kNsPerMs;
+    const TimeNs measure = 3 * damn::sim::kNsPerMs;
+    const ShardTrial w1 = runShardTrial(1, warmup, measure);
+    const ShardTrial w4 = runShardTrial(4, warmup, measure);
+    std::printf("shard scaling: w1 %.3fM ev/s, w4 %.3fM ev/s "
+                "(%.2fx), digest %s/%s\n",
+                w1.eventsPerSec / 1e6, w4.eventsPerSec / 1e6,
+                w1.eventsPerSec > 0.0
+                    ? w4.eventsPerSec / w1.eventsPerSec
+                    : 0.0,
+                digestHex(w1.digest).c_str(),
+                digestHex(w4.digest).c_str());
+    if (w1.digest != w4.digest || w1.events != w4.events) {
+        std::fprintf(stderr,
+                     "bench_selfperf: shard DETERMINISM violation: "
+                     "workers=1 and workers=4 diverged\n");
+        return 5;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw >= 4) {
+        const double shard_speedup =
+            w1.eventsPerSec > 0.0 ? w4.eventsPerSec / w1.eventsPerSec
+                                  : 0.0;
+        double shard_floor = 1.5;
+        if (shard_baseline > 0.0)
+            shard_floor = std::max(
+                shard_floor,
+                shard_baseline * (1.0 - tolerance_pct / 100.0));
+        if (shard_speedup < shard_floor) {
+            std::fprintf(stderr,
+                         "bench_selfperf: shard scaling REGRESSION: "
+                         "%.3fx < %.3fx\n",
+                         shard_speedup, shard_floor);
+            return 5;
+        }
+        std::printf("shard scaling within tolerance\n");
+    } else {
+        std::printf("shard speedup gate skipped: host has %u hardware "
+                    "thread(s); determinism gate enforced\n",
+                    hw);
+    }
     return 0;
 }
 
@@ -429,9 +577,33 @@ main(int argc, char **argv)
                     u.simMs, u.wallNsPerSimMs, u.eventsPerSec / 1e6);
     }
 
+    // Intra-run shard scaling: the same sharded workload at 1/2/4
+    // workers.  Identical digests are a hard gate — a divergence means
+    // the parallel rounds executed different events than serial.
+    std::vector<ShardTrial> shard_trials;
+    for (const unsigned w : {1u, 2u, 4u}) {
+        shard_trials.push_back(runShardTrial(w, warmup_ns, measure_ns));
+        const ShardTrial &t = shard_trials.back();
+        std::printf("sharded_netperf/damn w=%u  %7.1f wall-ms  "
+                    "(%.3fM ev/s, digest %s)\n",
+                    t.workers, t.wallMs, t.eventsPerSec / 1e6,
+                    digestHex(t.digest).c_str());
+    }
+    for (const ShardTrial &t : shard_trials) {
+        if (t.digest != shard_trials.front().digest ||
+            t.events != shard_trials.front().events) {
+            std::fprintf(stderr,
+                         "bench_selfperf: shard DETERMINISM "
+                         "violation: workers=%u diverged from "
+                         "workers=%u\n",
+                         t.workers, shard_trials.front().workers);
+            return 4;
+        }
+    }
+
     using damn::exp::Json;
     Json doc = Json::object();
-    doc.set("schema_version", 1);
+    doc.set("schema_version", 2);
     doc.set("generator", "bench_selfperf");
     Json eng = Json::object();
     eng.set("events", events);
@@ -453,6 +625,28 @@ main(int argc, char **argv)
         junits.push(std::move(ju));
     }
     doc.set("units", std::move(junits));
+
+    Json shard = Json::object();
+    shard.set("workload", "sharded_netperf_damn");
+    shard.set("shards", std::uint64_t(kShardCount));
+    shard.set("digest", digestHex(shard_trials.front().digest));
+    Json jtrials = Json::array();
+    jtrials.reserve(shard_trials.size());
+    for (const ShardTrial &t : shard_trials) {
+        Json jt = Json::object();
+        jt.set("workers", std::uint64_t(t.workers));
+        jt.set("events", t.events);
+        jt.set("wall_ms", t.wallMs);
+        jt.set("events_per_sec", t.eventsPerSec);
+        jtrials.push(std::move(jt));
+    }
+    shard.set("trials", std::move(jtrials));
+    shard.set("speedup_w4",
+              shard_trials.front().eventsPerSec > 0.0
+                  ? shard_trials.back().eventsPerSec /
+                        shard_trials.front().eventsPerSec
+                  : 0.0);
+    doc.set("shard", std::move(shard));
 
     const std::string text = doc.dump();
     std::FILE *f = std::fopen(out.c_str(), "wb");

@@ -1,0 +1,34 @@
+# Intra-run shard determinism through the real binary: the same seed
+# at --intra-jobs=1 and --intra-jobs=4 must write byte-identical
+# --json and --trace files for every cell-routed experiment (the
+# in-process equivalent lives in tests/test_shard.cc).
+#
+# Invoked as:
+#   cmake -DBENCH=<damn_bench> -DOUT=<dir> -P intrajobs_smoke.cmake
+
+set(args --only=netperf_stream --warmup-ms=1 --measure-ms=3
+    --backend=vtd,smmuv3)
+
+foreach(k 1 4)
+    execute_process(
+        COMMAND ${BENCH} ${args} --intra-jobs=${k}
+                --trace=${OUT}/intrajobs_${k}.trace
+                --json=${OUT}/intrajobs_${k}.json
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "damn_bench --intra-jobs=${k} failed: ${rc}")
+    endif()
+endforeach()
+
+foreach(ext json trace)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${OUT}/intrajobs_1.${ext} ${OUT}/intrajobs_4.${ext}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "--intra-jobs=4 ${ext} output differs from "
+                "--intra-jobs=1")
+    endif()
+endforeach()

@@ -33,6 +33,11 @@ const char kUsage[] =
     "  --jobs=N           run (experiment, rep) units on N worker\n"
     "                     threads (default: one per hardware thread;\n"
     "                     results are byte-identical for any N)\n"
+    "  --intra-jobs=K     shard *inside* one experiment: its\n"
+    "                     independent configuration cells run on K\n"
+    "                     worker threads (default 1 = serial; results\n"
+    "                     are byte-identical for any K).  Composes\n"
+    "                     with --jobs: total core budget is N x K\n"
     "  --repeat=N         run each experiment N times, varying the seed\n"
     "                     (rows gain a rep=<i> parameter)\n"
     "  --warmup-ms=N      override every experiment's warmup window\n"
@@ -147,6 +152,12 @@ parseArgs(int argc, const char *const *argv, DriverOptions *opts,
                 return false;
             }
             opts->jobs = unsigned(n);
+        } else if (key == "intra-jobs") {
+            if (!parseU64(value, &n) || n == 0) {
+                *err = "--intra-jobs needs a positive integer";
+                return false;
+            }
+            opts->intraJobs = unsigned(n);
         } else if (key == "repeat") {
             if (!parseU64(value, &n) || n == 0) {
                 *err = "--repeat needs a positive integer";
@@ -227,6 +238,7 @@ runUnit(const DriverOptions &opts, const Experiment &e, unsigned rep)
         out,
         !opts.tracePath.empty(),
         opts.backends,
+        opts.intraJobs,
     };
     e.run(ctx);
     std::vector<Run> runs = out.take();

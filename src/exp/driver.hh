@@ -36,6 +36,11 @@ struct DriverOptions
     /** Worker threads for (experiment, rep) units; 0 = one per
      *  hardware thread.  Output is byte-identical for every value. */
     unsigned jobs = 0;
+    /** Worker threads *inside* one experiment invocation
+     *  (RunCtx::runCells / sim::ShardedEngine); 1 = serial.  The
+     *  total core budget is jobs x intra-jobs; output is
+     *  byte-identical for every value. */
+    unsigned intraJobs = 1;
     unsigned repeat = 1;
     sim::TimeNs warmupNs = 0;   //!< 0 = per-experiment default
     sim::TimeNs measureNs = 0;  //!< 0 = per-experiment default

@@ -147,6 +147,24 @@ class StreamEngine
     }
 
     std::uint64_t
+    totalSegments() const
+    {
+        std::uint64_t n = 0;
+        for (const State &f : flows_)
+            n += f.segments;
+        return n;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t n = 0;
+        for (const State &f : flows_)
+            n += f.bytes;
+        return n;
+    }
+
+    std::uint64_t
     totalRetransmits() const
     {
         std::uint64_t n = 0;

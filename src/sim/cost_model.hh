@@ -204,29 +204,68 @@ struct CostModel
     // slot under the cmdq lock and an asynchronous *consumer* drain
     // awaited outside it — the contention asymmetry the backend_matrix
     // experiment measures.
+    //
+    // Calibration sources (published ARM SMMUv3 numbers; the model
+    // keeps their *shape* — cheap contended producer, latency-bound
+    // CMD_SYNC, DRAM-bound walks — at our 2 GHz reference clock):
+    //
+    //  [S1] Arm SMMUv3 Architecture Specification (IHI 0070): command
+    //       queue producer protocol (two 64-bit dwords + PROD update),
+    //       CMD_SYNC completion by MSI or SEV polling, STE→CD indirection
+    //       on the config path, CMDQS/EVTQS log2 ring sizing.
+    //  [S2] Linux `iommu/arm-smmu-v3` lock-free command-queue series
+    //       (Will Deacon, 2019, merged v5.4): insertion of a command
+    //       batch is tens of ns when uncontended — the series exists
+    //       because the *lock*, not the 2-dword write, dominated at
+    //       high core counts.  Anchors smmuCmdSubmitNs ≈ 35 ns
+    //       (~70 cycles: slot reservation + 2 stores + doorbell).
+    //  [S3] "Optimizing the performance of SMMUv3" (John Garry,
+    //       HiSilicon, Linux Plumbers / upstream threads, Kunpeng 920
+    //       measurements): strict-mode per-unmap cost is dominated by
+    //       the CMD_SYNC round trip (sub-microsecond once the queue
+    //       ahead has drained) and the consumer's TLBI drain rate
+    //       (~10 M invalidations/s ceiling).  Anchors
+    //       smmuCmdSyncNs ≈ 750 ns and smmuTlbiNs ≈ 110 ns.
+    //  [S4] Arm MMU-600 TRM: TBU translation latency — single-digit
+    //       cycles on TLB hit, walk-cache hits save the upper-level
+    //       walks; a cold stage-1 4 KiB walk is 3-4 dependent memory
+    //       reads of which the PWC typically leaves ~2 DRAM touches.
+    //       Anchors smmuWalkNs ≈ 105 ns (≈ 2 × ~50 ns DRAM + fabric),
+    //       smmuWalkPwcNs ≈ 22 ns, smmuCdFetchNs ≈ 140 ns (STE then
+    //       CD: two dependent cold reads).
+    //  [S5] WFE-based CMD_SYNC polling (smmu_queue_poll in Linux)
+    //       parks the core between events rather than pause-spinning
+    //       like VT-d's wait-descriptor loop — we book 30% of the
+    //       wait as busy vs VT-d's 55% (strictSpinBusyFraction).
+    //
     /** Producing one command into the queue (slot reservation + two
-     *  64-bit writes + PROD update), held under the cmdq lock, ns. */
-    TimeNs smmuCmdSubmitNs = 40;
+     *  64-bit writes + PROD update), held under the cmdq lock, ns.
+     *  [S1][S2] */
+    TimeNs smmuCmdSubmitNs = 35;
     /** CMD_SYNC completion round trip once the queue ahead of it has
-     *  drained (MSI or sev-based wakeup), ns. */
-    TimeNs smmuCmdSyncNs = 380;
-    /** Consuming one CMD_TLBI_* (walking and nuking TLB tags), ns. */
-    TimeNs smmuTlbiNs = 95;
+     *  drained (MSI or sev-based wakeup), ns.  [S1][S3] */
+    TimeNs smmuCmdSyncNs = 750;
+    /** Consuming one CMD_TLBI_* (walking and nuking TLB tags), ns.
+     *  [S3] */
+    TimeNs smmuTlbiNs = 110;
     /** Fraction of the out-of-lock CMD_SYNC wait booked as busy
-     *  (wfe-based polling is gentler than VT-d's pause loop). */
-    double smmuSyncSpinBusyFraction = 0.25;
+     *  (wfe-based polling is gentler than VT-d's pause loop).  [S5] */
+    double smmuSyncSpinBusyFraction = 0.30;
     /** SMMUv3 translation-table walk on a walk-cache miss, ns.  ARM
      *  walks are 3-4 levels like VT-d but the SMMU shares the
-     *  interconnect path with device traffic — slightly slower. */
-    TimeNs smmuWalkNs = 90;
-    /** Walk with hot upper levels (walk-cache hit), ns. */
-    TimeNs smmuWalkPwcNs = 20;
+     *  interconnect path with device traffic.  [S4] */
+    TimeNs smmuWalkNs = 105;
+    /** Walk with hot upper levels (walk-cache hit), ns.  [S4] */
+    TimeNs smmuWalkPwcNs = 22;
     /** STE + CD fetch on a config-cache miss (first walk after
-     *  attach/CFGI), ns. */
-    TimeNs smmuCdFetchNs = 120;
-    /** Command-queue ring capacity, commands (2^CMDQS). */
+     *  attach/CFGI), ns.  [S1][S4] */
+    TimeNs smmuCdFetchNs = 140;
+    /** Command-queue ring capacity, commands (2^CMDQS = 2^8; typical
+     *  MMU-600 configuration and the Linux driver's default ring
+     *  allocation).  [S1] */
     unsigned smmuCmdqDepth = 256;
-    /** Event-queue ring capacity, fault records (2^EVTQS). */
+    /** Event-queue ring capacity, fault records (2^EVTQS = 2^7).
+     *  [S1] */
     unsigned smmuEvtqDepth = 128;
 
     // ---- ATS / PRI (page-faultable DMA, both backends) -------------
@@ -282,6 +321,29 @@ struct CostModel
      *  Real flaps are ms-scale; shortened (like nvmeTimeoutNs) so
      *  recovery is observable inside millisecond-scale runs. */
     TimeNs nicLinkFlapDownNs = 50 * kNsPerUs;
+
+    // ---- Inter-machine link latencies (sharding lookahead) ---------
+    // Minimum one-way latencies of the modeled physical links.  These
+    // are *floors*, not averages: nothing crosses the link faster, so
+    // they double as the conservative lookahead of cross-shard
+    // channels in sim::ShardedEngine (DESIGN.md §15) — the larger the
+    // floor, the wider the parallel window.
+    /** One PCIe hop (root port -> endpoint posted write), ns. */
+    TimeNs pcieHopNs = 150;
+    /** NIC MAC/PCS + serialization onto the wire for a minimal frame,
+     *  plus a few meters of fiber, one way, ns. */
+    TimeNs nicWireLatencyNs = 450;
+    /** Cut-through ToR switch forwarding latency, ns. */
+    TimeNs torSwitchHopNs = 300;
+
+    /** Minimum latency between two machines through the ToR: onto the
+     *  wire, one switch hop, off the wire.  The cross-shard lookahead
+     *  for machine-boundary partitions. */
+    TimeNs
+    interMachineLinkNs() const
+    {
+        return 2 * nicWireLatencyNs + torSwitchHopNs;
+    }
 
     // ---- NVMe -------------------------------------------------------
     /** Device IOPS ceiling (Intel DC P3700 400G: ~900k read IOPS). */
